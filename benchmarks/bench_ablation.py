@@ -1,0 +1,19 @@
+"""Design-choice ablations (schedule, ordering, distributed baseline)."""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation.run(scale=10, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows}
+    # async completes in (far) fewer iterations than sync
+    assert rows["schedule=async"][1] < rows["schedule=sync"][1]
+    # distributed triangle heuristic breaks chordality at >= 2 parts
+    assert rows["distributed p=4"][3] == "NOT chordal"

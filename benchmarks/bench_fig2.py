@@ -1,0 +1,19 @@
+"""Regenerates paper Figure 2 (clustering coefficient vs neighbors)."""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import fig2
+
+
+def test_fig2(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2.run(scale=10, bio_fraction=1 / 32, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    peaks = {row[0]: row[3] for row in result.rows}
+    # paper shape: bio clustering peak far above both synthetic peaks
+    assert peaks["GSE5140(UNT)"] > 2 * peaks["RMAT-ER(10)"]
+    assert peaks["GSE5140(UNT)"] > 0.3
+    assert peaks["RMAT-ER(10)"] < 0.15

@@ -1,0 +1,19 @@
+"""Regenerates paper Figure 3 (shortest-path length distribution)."""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3.run(scale=10, bio_fraction=1 / 32, sample=256, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    max_len = {row[0]: row[1] for row in result.rows}
+    # paper shape: bio distribution much wider than RMAT-ER's; RMAT-B at
+    # least as wide as RMAT-ER
+    assert max_len["GSE5140(UNT)"] > max_len["RMAT-ER(10)"]
+    assert max_len["RMAT-B(10)"] >= max_len["RMAT-ER(10)"]

@@ -1,0 +1,27 @@
+"""Regenerates paper Figure 4 (synthetic-graph scaling on XMT/Opteron)."""
+
+from benchmarks.conftest import BENCH_SCALES, BENCH_SEED
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4.run(scales=BENCH_SCALES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    top = BENCH_SCALES[-1]
+    er_xmt = dict(result.series[f"RMAT-ER/XMT/S{top}-Unopt"])
+    b_xmt = dict(result.series[f"RMAT-B/XMT/S{top}-Unopt"])
+    # strong scaling: ER time at 128 well below at 1
+    assert er_xmt[128] < 0.5 * er_xmt[1]
+    # RMAT-B saturates earlier: its 128-proc gain is smaller than ER's
+    assert (b_xmt[1] / b_xmt[128]) < (er_xmt[1] / er_xmt[128])
+    # weak scaling: each +1 scale roughly doubles single-proc time
+    t_lo = dict(result.series[f"RMAT-ER/XMT/S{BENCH_SCALES[0]}-Unopt"])[1]
+    t_hi = er_xmt[1]
+    growth = t_hi / t_lo
+    doublings = len(BENCH_SCALES) - 1
+    assert 2 ** (doublings - 1) < growth < 2 ** (doublings + 1.5)

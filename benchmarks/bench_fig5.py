@@ -1,0 +1,23 @@
+"""Regenerates paper Figure 5 (gene-network scaling on XMT/Opteron)."""
+
+from benchmarks.conftest import BENCH_BIO_FRACTION, BENCH_SEED
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5.run(bio_fraction=BENCH_BIO_FRACTION, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    # paper shape: the optimized variant beats unoptimized on the XMT for
+    # every network, while the AMD variants stay close
+    for net in ("GSE5140(CRT)", "GSE5140(UNT)", "GSE17072(CTL)", "GSE17072(NON)"):
+        xmt_unopt = dict(result.series[f"{net}/XMT-Unopt"])
+        xmt_opt = dict(result.series[f"{net}/XMT-Opt"])
+        assert xmt_opt[16] < xmt_unopt[16], net
+        amd_unopt = dict(result.series[f"{net}/AMD-Unopt"])
+        amd_opt = dict(result.series[f"{net}/AMD-Opt"])
+        assert amd_unopt[32] < 2.5 * amd_opt[32], net

@@ -1,0 +1,25 @@
+"""Regenerates paper Figure 7 (queue sizes and iteration counts)."""
+
+from benchmarks.conftest import BENCH_BIO_FRACTION, BENCH_SCALES, BENCH_SEED
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7.run(
+            scales=BENCH_SCALES, bio_fraction=BENCH_BIO_FRACTION, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    rows = {row[0]: row for row in result.rows}
+    top = BENCH_SCALES[-1]
+    # paper shape: Q2 > Q1 for RMAT-B
+    name = f"RMAT-B({top})"
+    assert rows[name][3] > rows[name][2]
+    # paper shape: the gene networks need double-digit iteration counts
+    # (paper: ~10) despite being a fraction of the synthetic graphs' size
+    bio_iters = min(rows[n][1] for n in rows if n.startswith("GSE"))
+    assert bio_iters >= 8

@@ -1,0 +1,22 @@
+"""Microbenchmarks of the graph generators."""
+
+import pytest
+
+from repro.graph.generators.bio import GSE5140_UNT, bio_network
+from repro.graph.generators.rmat import rmat_b, rmat_er
+
+
+def test_rmat_er_scale12(benchmark):
+    g = benchmark(rmat_er, 12, 7)
+    assert g.num_vertices == 4096
+
+
+def test_rmat_b_scale12(benchmark):
+    g = benchmark(rmat_b, 12, 7)
+    assert g.num_vertices == 4096
+
+
+def test_bio_network_small(benchmark):
+    params = GSE5140_UNT.scaled(1 / 32)
+    g = benchmark(bio_network, params, 7)
+    assert g.num_vertices == params.num_vertices

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the library's hot kernels.
+
+These benchmark real wall-clock of the Python implementation (multiple
+rounds, statistics via pytest-benchmark) — unlike the experiment
+regenerations, which replay traces on modeled hardware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dearing import dearing_max_chordal
+from repro.chordality.lexbfs import lexbfs_order
+from repro.chordality.mcs import mcs_peo
+from repro.chordality.peo import is_perfect_elimination_ordering
+from repro.core.superstep import superstep_max_chordal
+from repro.core.threaded import threaded_max_chordal
+from repro.graph.bfs import bfs_levels
+from repro.graph.generators.rmat import rmat_b, rmat_er
+from repro.util.sorting import sorted_subset
+
+
+@pytest.fixture(scope="module")
+def er11():
+    return rmat_er(11, seed=1)
+
+
+@pytest.fixture(scope="module")
+def b11():
+    return rmat_b(11, seed=1)
+
+
+class BenchExtraction:
+    pass
+
+
+def test_extract_er_optimized(benchmark, er11):
+    edges, _, _ = benchmark(superstep_max_chordal, er11, variant="optimized")
+    assert edges.shape[0] > 0
+
+
+def test_extract_er_unoptimized(benchmark, er11):
+    edges, _, _ = benchmark(superstep_max_chordal, er11, variant="unoptimized")
+    assert edges.shape[0] > 0
+
+
+def test_extract_b_optimized(benchmark, b11):
+    edges, _, _ = benchmark(superstep_max_chordal, b11, variant="optimized")
+    assert edges.shape[0] > 0
+
+
+def test_extract_b_synchronous(benchmark, b11):
+    edges, _, _ = benchmark(superstep_max_chordal, b11, schedule="synchronous")
+    assert edges.shape[0] > 0
+
+
+def test_extract_threaded_overhead(benchmark, er11):
+    """Thread-team engine on 1 CPU: measures the coordination overhead the
+    GIL forces (compare against test_extract_er_optimized)."""
+    edges, _ = benchmark(threaded_max_chordal, er11, num_threads=4)
+    assert edges.shape[0] > 0
+
+
+def test_extract_with_trace_overhead(benchmark, er11):
+    """Instrumentation cost relative to the plain run."""
+    edges, _, trace = benchmark(superstep_max_chordal, er11, collect_trace=True)
+    assert trace is not None
+
+
+def test_dearing_baseline(benchmark, er11):
+    edges = benchmark(dearing_max_chordal, er11)
+    assert edges.shape[0] > 0
+
+
+def test_mcs_peo_check(benchmark, er11):
+    def run():
+        peo = mcs_peo(er11)
+        return is_perfect_elimination_ordering(er11, peo)
+
+    benchmark(run)
+
+
+def test_lexbfs(benchmark, er11):
+    order = benchmark(lexbfs_order, er11)
+    assert order.size == er11.num_vertices
+
+
+def test_bfs(benchmark, er11):
+    levels = benchmark(bfs_levels, er11, 0)
+    assert levels.size == er11.num_vertices
+
+
+def test_subset_kernel(benchmark):
+    small = list(range(0, 200, 4))
+    big = list(range(0, 400, 2))
+    assert benchmark(sorted_subset, small, big)

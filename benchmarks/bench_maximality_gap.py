@@ -1,0 +1,19 @@
+"""Quantifies the Theorem 2 maximality gap (erratum experiment, ours)."""
+
+from benchmarks.conftest import BENCH_SEED
+from repro.experiments import maximality_gap
+
+
+def test_maximality_gap(benchmark):
+    result = benchmark.pedantic(
+        lambda: maximality_gap.run(scales=(8, 9), bio_fraction=1 / 128, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    # the gap exists somewhere (the erratum is real) ...
+    assert any(row[3] > 0 for row in result.rows)
+    # ... and Dearing never yields fewer edges than raw Algorithm 1
+    for row in result.rows:
+        assert row[5] >= row[2] * 0.95, row

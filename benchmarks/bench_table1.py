@@ -1,0 +1,27 @@
+"""Regenerates paper Table I (test-suite graph properties)."""
+
+from benchmarks.conftest import BENCH_BIO_FRACTION, BENCH_SCALES, BENCH_SEED
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1.run(
+            scales=BENCH_SCALES, bio_fraction=BENCH_BIO_FRACTION, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    names = [row[0] for row in result.rows]
+    assert len(names) == 3 * len(BENCH_SCALES) + 4
+    by_name = {row[0]: row for row in result.rows}
+    top = BENCH_SCALES[-1]
+    # paper's structural orderings: max degree and variance ER < G < B
+    assert (
+        by_name[f"RMAT-ER({top})"][4]
+        < by_name[f"RMAT-G({top})"][4]
+        < by_name[f"RMAT-B({top})"][4]
+    )
+    assert by_name[f"RMAT-ER({top})"][5] < by_name[f"RMAT-B({top})"][5]

@@ -1,0 +1,27 @@
+"""Regenerates paper Table II (speedups at 128 XMT procs / 32 AMD cores)."""
+
+from benchmarks.conftest import BENCH_BIO_FRACTION, BENCH_SCALES, BENCH_SEED
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        lambda: table2.run(
+            scales=BENCH_SCALES, bio_fraction=BENCH_BIO_FRACTION, seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    by_name = {row[0]: row for row in result.rows}
+    top = BENCH_SCALES[-1]
+    er = by_name[f"RMAT-ER({top})"]
+    b = by_name[f"RMAT-B({top})"]
+    # paper shape: XMT speedups exceed AMD's on ER at the largest scale
+    assert er[1] > er[3]
+    # paper shape: RMAT-B scales worse than RMAT-ER on the XMT
+    assert b[1] < er[1]
+    # every speedup is at least ~1 (no catastrophic slowdown)
+    for row in result.rows:
+        assert min(row[1:]) > 0.5, row

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale knobs: the benchmarks default to R-MAT scales (9, 10, 11) and a
+1/64 bio fraction so the whole suite finishes in a few minutes on one
+core; the recorded full runs in EXPERIMENTS.md use the experiment CLI at
+larger scales.  Rendered experiment outputs print with ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.testsuite import clear_cache
+
+#: Scales used by benchmark experiment regenerations.
+BENCH_SCALES = (9, 10, 11)
+BENCH_BIO_FRACTION = 1.0 / 64.0
+BENCH_SEED = 20120910
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _suite_cache():
+    """Share generated graphs/traces across all benchmarks, then drop."""
+    yield
+    clear_cache()

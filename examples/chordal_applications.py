@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""NP-hard problems made tractable on the extracted chordal subgraph.
+
+The paper's introduction motivates maximal chordal subgraphs as a proxy
+domain where NP-hard combinatorial problems become polynomial.  This
+example makes that concrete on an R-MAT graph:
+
+* maximum clique of the chordal subgraph  -> clique (lower bound) of G;
+* optimal coloring of the chordal subgraph -> seed ordering for a greedy
+  coloring of G (an upper bound on chi(G));
+* maximum independent set of the subgraph -> independent set of... note:
+  an independent set of a *subgraph* is NOT one of G; we verify against G
+  and repair greedily, showing where the proxy needs care;
+* zero-fill elimination order of the subgraph -> fill-reducing ordering
+  for G viewed as a sparse matrix (the preconditioning use case).
+
+Run:
+    python examples/chordal_applications.py [--scale 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import extract_maximal_chordal_subgraph, rmat_g
+from repro.chordalg import (
+    chordal_coloring,
+    fill_in,
+    greedy_coloring,
+    max_clique,
+    max_independent_set,
+    verify_coloring,
+)
+from repro.chordality import mcs_peo
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    graph = rmat_g(args.scale, seed=args.seed)
+    print(f"RMAT-G({args.scale}): {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+
+    result = extract_maximal_chordal_subgraph(graph, renumber="bfs")
+    sub = result.subgraph
+    print(f"maximal chordal subgraph: {result.num_chordal_edges} edges "
+          f"({100 * result.chordal_fraction:.1f}%)\n")
+
+    # --- maximum clique (polynomial on chordal; NP-hard on G) ----------
+    clique = max_clique(sub)
+    for i, u in enumerate(clique):
+        for v in clique[i + 1:]:
+            assert graph.has_edge(u, v)  # subgraph cliques are G cliques
+    print(f"max clique of subgraph          : {len(clique)} vertices {clique[:8]}"
+          f"{'...' if len(clique) > 8 else ''}")
+    print(f"  -> certified clique lower bound for omega(G): {len(clique)}")
+
+    # --- chromatic number -----------------------------------------------
+    colors, k = chordal_coloring(sub)
+    assert verify_coloring(sub, colors)
+    print(f"optimal coloring of subgraph    : {k} colors (= subgraph clique number)")
+    order = np.argsort(colors, kind="stable").astype(np.int64)
+    g_colors = greedy_coloring(graph, order)
+    assert verify_coloring(graph, g_colors)
+    k_g = int(g_colors.max()) + 1
+    baseline = greedy_coloring(graph, np.arange(graph.num_vertices))
+    print(f"greedy coloring of G seeded by it: {k_g} colors "
+          f"(natural-order greedy: {int(baseline.max()) + 1})")
+
+    # --- independent set ---------------------------------------------------
+    mis = max_independent_set(sub)
+    conflicts = sum(
+        1 for i, u in enumerate(mis) for v in mis[i + 1:] if graph.has_edge(u, v)
+    )
+    keep: list[int] = []
+    for u in mis:  # greedy repair against G
+        if all(not graph.has_edge(u, v) for v in keep):
+            keep.append(u)
+    print(f"max independent set of subgraph : {len(mis)} vertices "
+          f"({conflicts} pairs conflict in G; greedy repair keeps {len(keep)})")
+
+    # --- fill-reducing ordering (preconditioner use case) -----------------
+    peo = mcs_peo(sub)
+    natural = np.arange(graph.num_vertices)
+    fill_peo = fill_in(graph, peo)
+    fill_nat = fill_in(graph, natural)
+    assert fill_in(sub, peo) == 0  # zero fill on the chordal skeleton
+    print(f"\nsymbolic elimination fill-in on G (sparse-matrix view):")
+    print(f"  natural order            : {fill_nat} fill edges")
+    print(f"  chordal-subgraph PEO     : {fill_peo} fill edges "
+          f"({100 * (1 - fill_peo / max(fill_nat, 1)):.0f}% reduction)")
+    print("\nThe chordal subgraph's elimination order is zero-fill on the "
+          "subgraph and transfers most of that benefit to G — the "
+          "ordering/preconditioning use case for chordal extraction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Why the paper abandoned the distributed approach (Section II).
+
+Compares three ways to extract (near-)chordal subgraphs:
+
+1. the prior distributed algorithm (partition + local Dearing + border-
+   edge triangle rule, over a simulated message-passing layer) — fast in
+   principle but only *nearly* chordal, with communication growing in the
+   border-edge count;
+2. the paper's multithreaded Algorithm 1 — exactly chordal, shared-memory;
+3. serial Dearing — exactly maximal, but inherently sequential.
+
+Run:
+    python examples/distributed_vs_multithreaded.py [--scale 10] [--parts 2 4 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import extract_maximal_chordal_subgraph, is_chordal, rmat_g
+from repro.baselines import dearing_max_chordal, distributed_nearly_chordal
+from repro.chordality import find_hole
+from repro.graph.ops import edge_subgraph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=10)
+    parser.add_argument("--parts", type=int, nargs="+", default=[2, 4, 8])
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    graph = rmat_g(args.scale, seed=args.seed)
+    print(f"RMAT-G({args.scale}): {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges\n")
+
+    print("distributed baseline (partition + border triangle rule):")
+    print(f"{'parts':>6} {'border':>8} {'accepted':>9} {'edges':>7} "
+          f"{'chordal?':>9} {'messages':>9}")
+    for p in args.parts:
+        d = distributed_nearly_chordal(graph, p, seed=args.seed)
+        print(f"{p:>6} {d.border_edges:>8} {d.accepted_border_edges:>9} "
+              f"{d.num_edges:>7} {str(d.chordal):>9} {d.stats.messages:>9}")
+        if not d.chordal:
+            hole = find_hole(edge_subgraph(graph, d.edges))
+            if hole:
+                print(f"       example chordless cycle admitted: {hole}")
+
+    print("\nrepaired distributed variant (certified-addable border edges):")
+    for p in args.parts:
+        d = distributed_nearly_chordal(graph, p, repair=True, seed=args.seed)
+        print(f"  parts={p}: {d.num_edges} edges, chordal={d.chordal}")
+
+    print("\npaper's multithreaded Algorithm 1 (this library):")
+    result = extract_maximal_chordal_subgraph(graph)
+    print(f"  {result.num_chordal_edges} edges in {result.num_iterations} "
+          f"iterations, chordal={is_chordal(result.subgraph)}")
+
+    print("\nserial Dearing (certified maximal, inherently sequential):")
+    edges = dearing_max_chordal(graph)
+    print(f"  {edges.shape[0]} edges, chordal="
+          f"{is_chordal(edge_subgraph(graph, edges))}")
+
+    print("\nTakeaway: the distributed triangle rule leaks chordless cycles "
+          "and its traffic grows with the border (hard-to-partition graphs "
+          "suffer most); Algorithm 1 keeps exact chordality with only "
+          "shared-memory synchronisation — the paper's core argument.")
+
+
+if __name__ == "__main__":
+    main()

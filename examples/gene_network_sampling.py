@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gene-correlation network sampling (the paper's motivating application).
+
+Reproduces the paper's biological workflow end to end:
+
+1. synthesise a microarray expression matrix with planted co-expressed
+   gene modules (stand-in for GEO GSE5140/GSE17072 — no network access);
+2. build the correlation network exactly as the paper describes
+   (connect gene pairs with |Pearson rho| >= 0.95);
+3. extract the maximal chordal subgraph as a *sampling* of the network
+   (references [4], [5] of the paper);
+4. show the sample preserves module structure while discarding most
+   edges, and compare against the spanning-forest baseline.
+
+Run:
+    python examples/gene_network_sampling.py [--genes 800] [--samples 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import extract_maximal_chordal_subgraph
+from repro.analysis import average_clustering, degree_stats
+from repro.baselines import spanning_forest_edges
+from repro.graph.generators import correlation_network, synthetic_expression
+from repro.graph.ops import edge_subgraph
+
+
+def module_edge_fraction(graph, modules) -> float:
+    """Fraction of edges joining genes of the same planted module."""
+    edges = graph.edge_array()
+    if edges.shape[0] == 0:
+        return 0.0
+    same = (modules[edges[:, 0]] == modules[edges[:, 1]]) & (modules[edges[:, 0]] >= 0)
+    return float(same.mean())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--genes", type=int, default=800)
+    parser.add_argument("--samples", type=int, default=60)
+    parser.add_argument("--modules", type=int, default=12)
+    parser.add_argument("--threshold", type=float, default=0.95)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Synthesising expression: {args.genes} genes x {args.samples} arrays, "
+          f"{args.modules} planted modules")
+    expr, modules = synthetic_expression(
+        args.genes, args.samples, args.modules, seed=args.seed
+    )
+
+    print(f"Building correlation network (|rho| >= {args.threshold}) ...")
+    network = correlation_network(expr, threshold=args.threshold)
+    stats = degree_stats(network)
+    print(f"  {stats.num_vertices} genes, {stats.num_edges} correlation edges, "
+          f"max degree {stats.max_degree}")
+    print(f"  same-module edge fraction : {module_edge_fraction(network, modules):.3f}")
+    print(f"  average clustering        : {average_clustering(network):.3f}")
+
+    print("\nSampling with the maximal chordal subgraph (Algorithm 1) ...")
+    result = extract_maximal_chordal_subgraph(network, renumber="bfs")
+    sample = result.subgraph
+    print(f"  kept {result.num_chordal_edges} / {network.num_edges} edges "
+          f"({100 * result.chordal_fraction:.1f}%) in {result.num_iterations} iterations")
+    print(f"  same-module edge fraction in sample: "
+          f"{module_edge_fraction(sample, modules):.3f}")
+
+    forest = edge_subgraph(network, spanning_forest_edges(network))
+    print(f"\nSpanning-forest baseline keeps {forest.num_edges} edges "
+          f"(same connectivity, no triangle structure):")
+    print(f"  clustering: chordal sample {average_clustering(sample):.3f} "
+          f"vs forest {average_clustering(forest):.3f}")
+    print("\nThe chordal sample keeps the module co-membership signal and the "
+          "local triangle structure that the forest destroys, at a fraction "
+          "of the original edge count — the noise-reducing sampling use case "
+          "from the paper's references [4][5].")
+
+
+if __name__ == "__main__":
+    main()

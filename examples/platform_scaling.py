@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Replaying the paper's platform study (Figures 4-6, Table II).
+
+Runs the instrumented algorithm on an R-MAT graph of your chosen scale,
+replays the measured work trace on the calibrated Cray XMT and AMD
+Opteron models, and prints the scaling curves and speedup rows the paper
+reports.  See DESIGN.md §3 for why timing is modeled rather than
+measured (single-core host + CPython GIL).
+
+Run:
+    python examples/platform_scaling.py [--kind RMAT-B] [--scale 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import extract_maximal_chordal_subgraph
+from repro.experiments.testsuite import rmat_spec, build_graph_cached
+from repro.machine import CrayXMTModel, OpteronModel, speedup_curve
+from repro.util.timing import format_seconds
+
+XMT_SWEEP = [1, 2, 4, 8, 16, 32, 64, 128]
+AMD_SWEEP = [1, 2, 4, 8, 16, 32]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kind", default="RMAT-B",
+                        choices=["RMAT-ER", "RMAT-G", "RMAT-B"])
+    parser.add_argument("--scale", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=20120910)
+    args = parser.parse_args()
+
+    graph = build_graph_cached(rmat_spec(args.kind, args.scale, args.seed))
+    print(f"{args.kind}({args.scale}): {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges\n")
+
+    xmt = CrayXMTModel()
+    amd = OpteronModel()
+
+    for variant in ("unoptimized", "optimized"):
+        result = extract_maximal_chordal_subgraph(
+            graph, variant=variant, collect_trace=True
+        )
+        trace = result.trace
+        print(f"--- variant: {variant} "
+              f"({trace.num_iterations} iterations, "
+              f"{trace.total_work:.0f} ops, "
+              f"critical path {trace.total_critical_path:.0f} ops) ---")
+        header = f"{'procs':>6} | {'XMT time':>12} | {'AMD time':>12}"
+        print(header)
+        print("-" * len(header))
+        for p in XMT_SWEEP:
+            t_x = xmt.simulate(trace, p).total_seconds
+            t_a = (
+                format_seconds(amd.simulate(trace, p).total_seconds)
+                if p <= max(AMD_SWEEP)
+                else "-"
+            )
+            print(f"{p:>6} | {format_seconds(t_x):>12} | {t_a:>12}")
+        s_x = speedup_curve(xmt, trace, [128])[128]
+        s_a = speedup_curve(amd, trace, [32])[32]
+        print(f"speedup: XMT@128 = {s_x:.1f}x   AMD@32 = {s_a:.1f}x "
+              f"(paper Table II analogues)\n")
+
+
+if __name__ == "__main__":
+    main()

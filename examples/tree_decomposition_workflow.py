@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Tree decompositions from extracted chordal subgraphs.
+
+Chordal graphs are exactly the graphs whose clique tree is an optimal
+tree decomposition — the structure behind junction-tree inference,
+sparse Cholesky supernodes, and bounded-treewidth dynamic programming.
+This example shows the end-to-end workflow on a bounded-treewidth input:
+
+1. generate a partial k-tree (treewidth <= k by construction);
+2. extract its maximal chordal subgraph with Algorithm 1;
+3. build the clique tree / tree decomposition of the subgraph;
+4. triangulate the *original* graph along the subgraph's elimination
+   order and compare the resulting treewidth bound against the natural
+   order — the ordering payoff the paper's introduction gestures at.
+
+Run:
+    python examples/tree_decomposition_workflow.py [--n 60] [--k 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import extract_maximal_chordal_subgraph
+from repro.chordalg import chordal_treewidth, tree_decomposition, treewidth_upper_bound
+from repro.chordality import mcs_peo
+from repro.graph.generators import partial_ktree
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=60)
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--keep", type=float, default=0.75)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    graph = partial_ktree(args.n, args.k, args.keep, seed=args.seed)
+    print(f"partial {args.k}-tree: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges (true treewidth <= {args.k})\n")
+
+    result = extract_maximal_chordal_subgraph(graph, renumber="bfs", maximalize=True)
+    sub = result.subgraph
+    print(f"maximal chordal subgraph: {result.num_chordal_edges} edges "
+          f"({100 * result.chordal_fraction:.0f}% of |E|), "
+          f"completion pass added {result.maximality_gap}")
+
+    bags, tree_edges, width = tree_decomposition(sub)
+    print(f"clique tree of the subgraph: {len(bags)} bags, "
+          f"{len(tree_edges)} tree edges, width {width}")
+    sizes = sorted((len(b) for b in bags), reverse=True)
+    print(f"  largest bags: {sizes[:5]}")
+    assert width == chordal_treewidth(sub)
+
+    peo = mcs_peo(sub)
+    natural = np.arange(graph.num_vertices)
+    bound_peo = treewidth_upper_bound(graph, peo)
+    bound_nat = treewidth_upper_bound(graph, natural)
+    bound_own = treewidth_upper_bound(graph, mcs_peo(graph))
+    print(f"\ntreewidth bounds for the ORIGINAL graph (true <= {args.k}):")
+    print(f"  natural order triangulation     : {bound_nat}")
+    print(f"  chordal-subgraph PEO            : {bound_peo}")
+    print(f"  MCS directly on the graph       : {bound_own}")
+    print("\nThe subgraph's perfect elimination order carries its zero-fill "
+          "structure back to the host graph, tightening the triangulation "
+          "the way a fill-reducing ordering would.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Thin setup.py shim.
+
+The environment this repository targets can be fully offline; without the
+``wheel`` package, PEP 660 editable installs (``pip install -e .``) fail in
+setuptools' ``bdist_wheel`` step.  This shim enables the legacy editable
+path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

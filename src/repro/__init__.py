@@ -1,0 +1,85 @@
+"""repro — Multithreaded maximal chordal subgraph extraction.
+
+A complete reproduction of *"A Novel Multithreaded Algorithm for Extracting
+Maximal Chordal Subgraphs"* (Halappanavar, Feo, Dempsey, Ali, Bhowmick —
+ICPP 2012), including the graph substrate, the paper's test-suite
+generators, the serial/threaded extraction engines, the Dearing–Shier–
+Warner and distributed baselines, chordality verification, machine models
+for the Cray XMT and AMD Opteron platforms, and a harness regenerating
+every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import rmat_b, extract_maximal_chordal_subgraph
+>>> g = rmat_b(10, seed=1)
+>>> result = extract_maximal_chordal_subgraph(g)
+>>> 0 < result.num_chordal_edges <= g.num_edges
+True
+
+See ``README.md`` for the full tour and ``DESIGN.md`` for the system map.
+"""
+
+from repro.core import (
+    ChordalResult,
+    extract_maximal_chordal_subgraph,
+    reference_max_chordal,
+    superstep_max_chordal,
+    threaded_max_chordal,
+    stitch_components,
+)
+from repro.chordality import (
+    is_chordal,
+    is_maximal_chordal_subgraph,
+    mcs_peo,
+    lexbfs_peo,
+    is_perfect_elimination_ordering,
+)
+from repro.graph import (
+    CSRGraph,
+    build_graph,
+    from_edge_array,
+    edge_subgraph,
+    bfs_renumber,
+    connected_components,
+)
+from repro.graph.generators import (
+    rmat_er,
+    rmat_g,
+    rmat_b,
+    rmat_graph,
+    RMATParams,
+    bio_network,
+    correlation_network,
+    synthetic_expression,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChordalResult",
+    "extract_maximal_chordal_subgraph",
+    "reference_max_chordal",
+    "superstep_max_chordal",
+    "threaded_max_chordal",
+    "stitch_components",
+    "is_chordal",
+    "is_maximal_chordal_subgraph",
+    "mcs_peo",
+    "lexbfs_peo",
+    "is_perfect_elimination_ordering",
+    "CSRGraph",
+    "build_graph",
+    "from_edge_array",
+    "edge_subgraph",
+    "bfs_renumber",
+    "connected_components",
+    "rmat_er",
+    "rmat_g",
+    "rmat_b",
+    "rmat_graph",
+    "RMATParams",
+    "bio_network",
+    "correlation_network",
+    "synthetic_expression",
+    "__version__",
+]

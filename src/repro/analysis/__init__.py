@@ -1,0 +1,32 @@
+"""Graph analysis used by the paper's characterisation figures.
+
+* degrees / summary — Table I columns (vertices, edges, average degree,
+  max degree, degree variance, edges-per-vertex);
+* clustering — Figure 2 (average clustering coefficient vs neighbor
+  count);
+* paths — Figure 3 (shortest-path length distribution);
+* assortativity — the paper's Section IV discussion of hub adjacency in
+  biological networks.
+"""
+
+from repro.analysis.degrees import degree_stats, DegreeStats
+from repro.analysis.clustering import (
+    local_clustering,
+    average_clustering,
+    clustering_by_degree,
+)
+from repro.analysis.paths import shortest_path_histogram
+from repro.analysis.assortativity import degree_assortativity
+from repro.analysis.summary import GraphSummary, summarize_graph
+
+__all__ = [
+    "degree_stats",
+    "DegreeStats",
+    "local_clustering",
+    "average_clustering",
+    "clustering_by_degree",
+    "shortest_path_histogram",
+    "degree_assortativity",
+    "GraphSummary",
+    "summarize_graph",
+]

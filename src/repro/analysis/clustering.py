@@ -1,0 +1,68 @@
+"""Clustering coefficients (paper Figure 2).
+
+The paper characterises its inputs by plotting the *average clustering
+coefficient of vertices with k neighbors* against ``k`` for RMAT-ER,
+RMAT-B (SCALE=10) and GSE5140(UNT): synthetic graphs stay below ~0.2
+while the biological networks reach ~0.7 at low degree and decay as
+degree grows (assortativity).
+
+The local coefficient of ``v`` is ``2 T(v) / (deg(v) (deg(v)-1))`` where
+``T(v)`` counts edges among neighbors; triangles are counted with sorted
+adjacency intersections (``O(sum_v deg(v) * avg_deg)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["local_clustering", "average_clustering", "clustering_by_degree"]
+
+
+def local_clustering(graph: CSRGraph) -> np.ndarray:
+    """Local clustering coefficient of every vertex (0 for degree < 2)."""
+    g = graph.with_sorted_adjacency()
+    n = g.num_vertices
+    coeffs = np.zeros(n, dtype=np.float64)
+    indptr, indices = g.indptr, g.indices
+    neighbor_sets = [set(indices[indptr[v]:indptr[v + 1]].tolist()) for v in range(n)]
+    for v in range(n):
+        row = indices[indptr[v]:indptr[v + 1]]
+        d = row.size
+        if d < 2:
+            continue
+        links = 0
+        sv = neighbor_sets[v]
+        for u in row.tolist():
+            # count common neighbors once per (u, w) pair: restrict to u < w
+            su = neighbor_sets[u]
+            if len(su) < len(sv):
+                links += sum(1 for x in su if x > u and x in sv)
+            else:
+                links += sum(1 for x in sv if x > u and x in su)
+        coeffs[v] = 2.0 * links / (d * (d - 1))
+    return coeffs
+
+
+def average_clustering(graph: CSRGraph) -> float:
+    """Mean local clustering coefficient over all vertices."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return float(local_clustering(graph).mean())
+
+
+def clustering_by_degree(graph: CSRGraph) -> list[tuple[int, float, int]]:
+    """Figure 2's series: ``(degree, avg clustering at that degree, count)``.
+
+    Only degrees with at least one vertex appear; sorted by degree.
+    """
+    coeffs = local_clustering(graph)
+    degs = graph.degrees()
+    out: list[tuple[int, float, int]] = []
+    if degs.size == 0:
+        return out
+    for d in np.unique(degs):
+        mask = degs == d
+        out.append((int(d), float(coeffs[mask].mean()), int(mask.sum())))
+    return out

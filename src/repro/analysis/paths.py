@@ -1,0 +1,70 @@
+"""Shortest-path length distribution (paper Figure 3).
+
+The paper plots the frequency of each shortest-path length over all
+vertex pairs: RMAT-ER-10 concentrates on lengths 2-3, RMAT-B-10 spreads
+to 7, and the biological networks spread to ~19 — evidence of
+well-separated dense components connected through long sparse regions.
+
+Exact all-pairs BFS costs ``O(n (n + m))``; a ``sample`` parameter caps
+the number of BFS sources (uniform deterministic subsample) so the
+distribution of the 45k-vertex bio replicas stays computable — the
+histogram *shape* converges quickly with a few hundred sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bfs import bfs_levels
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+
+__all__ = ["shortest_path_histogram"]
+
+
+def shortest_path_histogram(
+    graph: CSRGraph,
+    *,
+    sample: int | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Histogram ``h`` with ``h[L]`` = number of (ordered source, vertex)
+    pairs at hop distance ``L >= 1``.
+
+    With ``sample=None`` every vertex is a BFS source and the result is
+    scaled to the full ordered-pair count; otherwise ``sample`` sources are
+    drawn without replacement and frequencies are extrapolated by
+    ``n / sample`` (the paper's Figure 3 counts unordered pairs; divide by
+    two for that convention).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return np.zeros(1, dtype=np.float64)
+    if sample is not None and not 1 <= sample:
+        raise ValueError(f"sample must be >= 1, got {sample}")
+
+    if sample is None or sample >= n:
+        sources = np.arange(n)
+        scale = 1.0
+    else:
+        rng = make_rng(seed)
+        sources = rng.choice(n, size=sample, replace=False)
+        scale = n / sample
+
+    counts: dict[int, float] = {}
+    for s in sources.tolist():
+        levels = bfs_levels(graph, s)
+        reached = levels[levels > 0]
+        if reached.size == 0:
+            continue
+        hist = np.bincount(reached)
+        for length, c in enumerate(hist.tolist()):
+            if length >= 1 and c:
+                counts[length] = counts.get(length, 0.0) + c
+    if not counts:
+        return np.zeros(1, dtype=np.float64)
+    max_len = max(counts)
+    out = np.zeros(max_len + 1, dtype=np.float64)
+    for length, c in counts.items():
+        out[length] = c * scale
+    return out

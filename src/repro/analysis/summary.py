@@ -1,0 +1,38 @@
+"""One-stop structural summary of a graph (Table I + context columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.assortativity import degree_assortativity
+from repro.analysis.degrees import DegreeStats, degree_stats
+from repro.graph.bfs import connected_components
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphSummary", "summarize_graph"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Structural profile of one test-suite graph."""
+
+    name: str
+    degrees: DegreeStats
+    num_components: int
+    assortativity: float
+
+    def table1_row(self) -> list:
+        """Row in the paper's Table I format (name + six columns)."""
+        return [self.name] + self.degrees.row()
+
+
+def summarize_graph(name: str, graph: CSRGraph, *, components: bool = True) -> GraphSummary:
+    """Compute the summary (component counting optional — it is the only
+    O(n·BFS) part and can be skipped for very large replicas)."""
+    ncomp = connected_components(graph)[0] if components else -1
+    return GraphSummary(
+        name=name,
+        degrees=degree_stats(graph),
+        num_components=ncomp,
+        assortativity=degree_assortativity(graph),
+    )

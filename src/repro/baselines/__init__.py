@@ -1,0 +1,29 @@
+"""Baselines the paper compares against or builds upon.
+
+* :mod:`repro.baselines.dearing` — the serial Dearing–Shier–Warner
+  MAXCHORD algorithm (paper Section II, reference [1]); the source of the
+  subset test Algorithm 1 parallelises.
+* :mod:`repro.baselines.distributed` — the distributed-memory
+  partition + border-edge algorithm of Dempsey/Duraisamy et al. (paper
+  references [4], [5], [8]), run over a simulated message-passing
+  substrate (:mod:`repro.baselines.msgpass`).
+* :mod:`repro.baselines.spanning` — BFS spanning forest, the trivial
+  chordal subgraph lower bound.
+"""
+
+from repro.baselines.dearing import dearing_max_chordal
+from repro.baselines.distributed import (
+    DistributedResult,
+    distributed_nearly_chordal,
+)
+from repro.baselines.msgpass import Network, MessageStats
+from repro.baselines.spanning import spanning_forest_edges
+
+__all__ = [
+    "dearing_max_chordal",
+    "DistributedResult",
+    "distributed_nearly_chordal",
+    "Network",
+    "MessageStats",
+    "spanning_forest_edges",
+]

@@ -1,0 +1,69 @@
+"""Simulated message-passing substrate for the distributed baseline.
+
+The distributed algorithm of Dempsey et al. originally runs over MPI; this
+module provides the minimal substrate needed to structure that algorithm
+the same way offline: per-rank inboxes, tagged sends, and bulk-synchronous
+exchange rounds, with byte/message accounting so the experiments can report
+the communication volume the paper's Section II discusses (scalability
+proportional to ``b²/Δ`` in the number of border edges ``b``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["MessageStats", "Network"]
+
+
+@dataclass
+class MessageStats:
+    """Cumulative traffic counters of a :class:`Network`."""
+
+    messages: int = 0
+    items: int = 0
+    by_tag: dict[str, int] = field(default_factory=dict)
+
+    def record(self, tag: str, payload_len: int) -> None:
+        self.messages += 1
+        self.items += payload_len
+        self.by_tag[tag] = self.by_tag.get(tag, 0) + 1
+
+
+class Network:
+    """Bulk-synchronous message transport between ``num_ranks`` processes.
+
+    Messages sent during a round become visible only after
+    :meth:`exchange` — mirroring the communication/computation phases of
+    the MPI original.
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise ValueError(f"num_ranks must be >= 1, got {num_ranks}")
+        self.num_ranks = num_ranks
+        self.stats = MessageStats()
+        self._outboxes: dict[tuple[int, str], list] = defaultdict(list)
+        self._inboxes: dict[tuple[int, str], list] = defaultdict(list)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range for {self.num_ranks} ranks")
+
+    def send(self, dst: int, tag: str, payload: list) -> None:
+        """Queue ``payload`` (a list of items) for delivery to ``dst``."""
+        self._check_rank(dst)
+        self._outboxes[(dst, tag)].append(list(payload))
+        self.stats.record(tag, len(payload))
+
+    def exchange(self) -> None:
+        """Deliver all queued messages (the round barrier)."""
+        for key, msgs in self._outboxes.items():
+            self._inboxes[key].extend(msgs)
+        self._outboxes.clear()
+
+    def recv_all(self, rank: int, tag: str) -> list[list]:
+        """Drain and return every delivered message for ``(rank, tag)``."""
+        self._check_rank(rank)
+        msgs = self._inboxes.pop((rank, tag), [])
+        return msgs

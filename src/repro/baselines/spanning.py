@@ -1,0 +1,53 @@
+"""BFS spanning forest — the trivial chordal subgraph baseline.
+
+Any forest is chordal (no cycles at all), so a spanning forest is the
+cheapest chordal subgraph with maximum connectivity; the paper's intro
+mentions spanning-tree extraction as the prior art in multithreaded graph
+sampling.  Comparing its edge count against Algorithm 1's shows how much
+denser a *maximal* chordal subgraph is (the paper's 6-11% chordal-edge
+fractions versus the forest's ``(n - #components)/m``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bfs import bfs_levels
+from repro.graph.csr import CSRGraph
+
+__all__ = ["spanning_forest_edges"]
+
+
+def spanning_forest_edges(graph: CSRGraph) -> np.ndarray:
+    """Edges of a BFS spanning forest (one BFS tree per component).
+
+    Returns a ``(k, 2)`` array with ``k = n - #components``; rows are
+    (parent, child) in BFS discovery order.
+    """
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    edges: list[tuple[int, int]] = []
+    for root in range(n):
+        if visited[root]:
+            continue
+        levels = bfs_levels(graph, root)
+        members = np.flatnonzero(levels >= 0)
+        members = members[~visited[members]]
+        visited[members] = True
+        # Recover BFS tree parents: for each non-root member pick its
+        # smallest neighbor one level up (deterministic).
+        for w in members:
+            w = int(w)
+            if w == root:
+                continue
+            lw = levels[w]
+            parent = -1
+            for u in graph.neighbors(w):
+                u = int(u)
+                if levels[u] == lw - 1 and (parent < 0 or u < parent):
+                    parent = u
+            if parent >= 0:
+                edges.append((parent, w))
+    if not edges:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(edges, dtype=np.int64)

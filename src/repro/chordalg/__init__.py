@@ -1,0 +1,36 @@
+"""Polynomial-time algorithms on chordal graphs.
+
+The paper's introduction motivates maximal chordal subgraph extraction by
+the fact that problems which are NP-hard in general — maximum clique,
+chromatic number, maximum independent set — admit linear/polynomial
+algorithms on chordal graphs via a perfect elimination ordering, and that
+chordal structure drives sparse-matrix orderings (zero fill-in).  This
+package supplies those consumers so the examples can demonstrate the
+end-to-end workflow: extract a maximal chordal subgraph, then solve on it.
+"""
+
+from repro.chordalg.cliques import max_clique, maximal_cliques
+from repro.chordalg.coloring import chordal_coloring, greedy_coloring, verify_coloring
+from repro.chordalg.independent_set import max_independent_set
+from repro.chordalg.cliquetree import clique_tree
+from repro.chordalg.elimination import fill_in, elimination_fill_edges
+from repro.chordalg.treewidth import (
+    chordal_treewidth,
+    tree_decomposition,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "max_clique",
+    "maximal_cliques",
+    "chordal_coloring",
+    "greedy_coloring",
+    "verify_coloring",
+    "max_independent_set",
+    "clique_tree",
+    "fill_in",
+    "elimination_fill_edges",
+    "chordal_treewidth",
+    "tree_decomposition",
+    "treewidth_upper_bound",
+]

@@ -1,0 +1,91 @@
+"""Maximum clique and maximal-clique enumeration on chordal graphs.
+
+On a chordal graph with perfect elimination ordering ``peo``, the set
+``{v} ∪ {later neighbors of v}`` is a clique for every ``v``, and every
+maximal clique arises this way (Fulkerson–Gross).  Maximum clique — NP-hard
+in general — therefore falls out of one linear sweep, which is precisely
+the speed-up the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chordality.mcs import mcs_peo
+from repro.chordality.peo import is_perfect_elimination_ordering
+from repro.errors import NotChordalError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["max_clique", "maximal_cliques"]
+
+
+def _checked_peo(graph: CSRGraph) -> np.ndarray:
+    peo = mcs_peo(graph)
+    if not is_perfect_elimination_ordering(graph, peo):
+        raise NotChordalError(
+            "graph is not chordal; extract a chordal subgraph first "
+            "(repro.extract_maximal_chordal_subgraph)"
+        )
+    return peo
+
+
+def max_clique(graph: CSRGraph) -> list[int]:
+    """A maximum clique of a chordal graph (vertex list, ascending ids).
+
+    Raises :class:`~repro.errors.NotChordalError` on non-chordal input.
+    O(V + E) after the chordality check.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    peo = _checked_peo(graph)
+    position = np.empty(n, dtype=np.int64)
+    position[peo] = np.arange(n)
+    best_v = int(peo[0])
+    best_size = 1
+    for v in peo.tolist():
+        later = position[graph.neighbors(v)] > position[v]
+        size = int(later.sum()) + 1
+        if size > best_size:
+            best_size = size
+            best_v = v
+    later_nbrs = [
+        int(u) for u in graph.neighbors(best_v) if position[u] > position[best_v]
+    ]
+    return sorted([best_v] + later_nbrs)
+
+
+def maximal_cliques(graph: CSRGraph) -> list[list[int]]:
+    """All maximal cliques of a chordal graph (each sorted ascending).
+
+    A chordal graph has at most ``n`` maximal cliques; candidate cliques
+    ``{v} ∪ later-neighbors(v)`` that are subsets of an earlier-emitted
+    clique are filtered with the standard size test (a candidate is
+    maximal iff no neighbor eliminated before ``v`` had a strictly larger
+    candidate containing it — here implemented by direct superset check
+    against the candidate of the *previous* eliminated neighbor, which is
+    sufficient on chordal graphs).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    peo = _checked_peo(graph)
+    position = np.empty(n, dtype=np.int64)
+    position[peo] = np.arange(n)
+
+    cliques: list[list[int]] = []
+    # best_containing[u] = largest |C(x)| over already-eliminated x whose
+    # clique-tree parent is u.  Blair-Peyton: C(v) = {v} ∪ madj(v) is
+    # non-maximal iff |C(v)| < best_containing[v] (containment can only
+    # happen through the clique-tree parent edge on chordal graphs).
+    best_containing = np.zeros(n, dtype=np.int64)
+    for v in peo.tolist():
+        later = [int(u) for u in graph.neighbors(v) if position[u] > position[v]]
+        size = len(later) + 1
+        if size >= best_containing[v]:
+            cliques.append(sorted([v] + later))
+        if later:
+            parent = min(later, key=lambda x: position[x])
+            if size > best_containing[parent]:
+                best_containing[parent] = size
+    return cliques

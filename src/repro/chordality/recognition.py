@@ -1,0 +1,91 @@
+"""Chordality recognition and hole extraction.
+
+``is_chordal`` is the library's ground-truth oracle: MCS ordering + the
+Tarjan–Yannakakis PEO test, both O(V + E).  ``find_hole`` extracts an
+explicit chordless cycle of length >= 4 from non-chordal graphs for
+counterexample reporting in tests and the maximality checker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chordality.mcs import mcs_peo
+from repro.chordality.peo import is_perfect_elimination_ordering
+from repro.graph.csr import CSRGraph
+
+__all__ = ["is_chordal", "find_hole"]
+
+
+def is_chordal(graph: CSRGraph) -> bool:
+    """True iff every cycle of length > 3 in ``graph`` has a chord.
+
+    Empty graphs, forests and cliques are chordal.
+    """
+    if graph.num_vertices <= 3:
+        return True
+    return is_perfect_elimination_ordering(graph, mcs_peo(graph))
+
+
+def _restricted_shortest_path(
+    graph: CSRGraph, source: int, target: int, banned: np.ndarray
+) -> list[int] | None:
+    """Shortest path from ``source`` to ``target`` avoiding ``banned`` vertices.
+
+    ``banned`` is a boolean mask; source/target are implicitly allowed.
+    Returns the vertex list (inclusive) or ``None``.
+    """
+    n = graph.num_vertices
+    parent = np.full(n, -2, dtype=np.int64)  # -2 unvisited, -1 root
+    parent[source] = -1
+    frontier = [source]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            for w in graph.neighbors(u):
+                w = int(w)
+                if parent[w] != -2 or (banned[w] and w != target):
+                    continue
+                parent[w] = u
+                if w == target:
+                    path = [w]
+                    while parent[path[-1]] != -1:
+                        path.append(int(parent[path[-1]]))
+                    return path[::-1]
+                nxt.append(w)
+        frontier = nxt
+    return None
+
+
+def find_hole(graph: CSRGraph) -> list[int] | None:
+    """Return the vertices of a chordless cycle of length >= 4, or ``None``.
+
+    Strategy: pick any vertex ``v`` with two non-adjacent neighbors ``a, b``
+    and search for a shortest ``a``–``b`` path that avoids ``N[v]`` (except
+    at its endpoints).  The cycle ``v, a, ..., b`` is then chordless:
+    interior vertices avoid ``N(v)``, a shortest path has no internal
+    chords, and ``(a, b)`` is a non-edge by choice.  Every non-chordal graph
+    contains such a configuration for *some* ``(v, a, b)``; we scan until
+    one is found.
+
+    Cost is worst-case O(V * Δ² * (V + E)) — this is a diagnostic routine
+    for test-sized graphs, not a performance kernel.
+    """
+    n = graph.num_vertices
+    banned = np.zeros(n, dtype=bool)
+    for v in range(n):
+        nbrs = [int(w) for w in graph.neighbors(v)]
+        if len(nbrs) < 2:
+            continue
+        nbr_set = set(nbrs)
+        banned[:] = False
+        banned[list(nbr_set)] = True
+        banned[v] = True
+        for i, a in enumerate(nbrs):
+            for b in nbrs[i + 1:]:
+                if graph.has_edge(a, b):
+                    continue
+                path = _restricted_shortest_path(graph, a, b, banned)
+                if path is not None and len(path) >= 3:
+                    return [v] + path
+    return None

@@ -1,0 +1,45 @@
+"""The paper's contribution: multithreaded maximal chordal subgraph extraction.
+
+Algorithm 1 of the paper, in four interchangeable engines that all produce
+*identical* chordal edge sets under the canonical snapshot-per-superstep
+semantics (see DESIGN.md §5):
+
+* :mod:`repro.core.reference` — literal pure-Python transcription of the
+  pseudocode (dicts and sets; the readable spec).
+* :mod:`repro.core.superstep` — array-based serial engine with the paper's
+  *optimized* (sorted adjacency) and *unoptimized* (scan) parent strategies.
+* :mod:`repro.core.threaded` — real ``threading`` engine with a persistent
+  thread team and per-iteration barriers.
+* :func:`repro.core.extract.extract_maximal_chordal_subgraph` — the public
+  entry point dispatching between them.
+"""
+
+from repro.core.extract import (
+    ChordalResult,
+    extract_maximal_chordal_subgraph,
+    VARIANTS,
+    ENGINES,
+    SCHEDULES,
+)
+from repro.core.maximalize import maximalize_chordal_edges
+from repro.core.reference import reference_max_chordal
+from repro.core.superstep import superstep_max_chordal
+from repro.core.threaded import threaded_max_chordal
+from repro.core.connect import stitch_components
+from repro.core.instrument import WorkTrace, IterationTrace, CostModelParams
+
+__all__ = [
+    "ChordalResult",
+    "extract_maximal_chordal_subgraph",
+    "maximalize_chordal_edges",
+    "VARIANTS",
+    "ENGINES",
+    "SCHEDULES",
+    "reference_max_chordal",
+    "superstep_max_chordal",
+    "threaded_max_chordal",
+    "stitch_components",
+    "WorkTrace",
+    "IterationTrace",
+    "CostModelParams",
+]

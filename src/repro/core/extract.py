@@ -1,0 +1,238 @@
+"""Public entry point: :func:`extract_maximal_chordal_subgraph`.
+
+Dispatches between the reference, serial-superstep and threaded engines,
+optionally BFS-renumbers the input first (the paper's recipe for
+guaranteeing a connected — hence provably maximal — chordal subgraph on
+connected inputs), optionally stitches disconnected output components, and
+returns a :class:`ChordalResult` bundling the edge set with run metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.connect import stitch_components
+from repro.core.instrument import CostModelParams, WorkTrace
+from repro.core.maximalize import maximalize_chordal_edges
+from repro.core.reference import reference_max_chordal
+from repro.core.superstep import superstep_max_chordal
+from repro.core.threaded import threaded_max_chordal
+from repro.graph.bfs import bfs_renumber
+from repro.graph.csr import CSRGraph
+from repro.graph.ops import edge_subgraph
+
+__all__ = [
+    "ChordalResult",
+    "extract_maximal_chordal_subgraph",
+    "VARIANTS",
+    "ENGINES",
+    "SCHEDULES",
+]
+
+#: Parent-advance variants (the paper's Opt / Unopt pair).
+VARIANTS = ("optimized", "unoptimized")
+
+#: Execution engines.
+ENGINES = ("superstep", "threaded", "reference")
+
+#: Intra-iteration schedules (see repro.core.reference docs).
+SCHEDULES = ("asynchronous", "synchronous")
+
+
+@dataclass
+class ChordalResult:
+    """Result of one maximal-chordal-subgraph extraction.
+
+    Attributes
+    ----------
+    edges:
+        Chordal edge set ``EC`` as an ``(k, 2)`` array, canonicalised to
+        ``u < v`` rows in lexicographic order (engine-independent).
+    queue_sizes:
+        ``|Q1|`` per iteration — the paper's parallelism profile (Fig 7).
+    num_iterations:
+        Number of supersteps executed.
+    variant / engine:
+        How the extraction was run.
+    trace:
+        Work trace for the machine models (``None`` unless requested).
+    graph:
+        The input graph the edges refer to (original ids, even when
+        BFS renumbering was applied internally).
+    """
+
+    edges: np.ndarray
+    queue_sizes: list[int]
+    variant: str
+    engine: str
+    graph: CSRGraph
+    schedule: str = "asynchronous"
+    trace: WorkTrace | None = None
+    renumbered: bool = False
+    stitched_bridges: int = 0
+    maximality_gap: int = 0
+    _subgraph: CSRGraph | None = field(default=None, repr=False)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.queue_sizes)
+
+    @property
+    def num_chordal_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def chordal_fraction(self) -> float:
+        """|EC| / |E| — the statistic the paper reports in Section V."""
+        m = self.graph.num_edges
+        return self.num_chordal_edges / m if m else 1.0
+
+    @property
+    def subgraph(self) -> CSRGraph:
+        """The chordal subgraph ``G' = (V, EC)`` (built lazily, cached)."""
+        if self._subgraph is None:
+            self._subgraph = edge_subgraph(self.graph, self.edges)
+        return self._subgraph
+
+
+def _canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Normalise rows to (min, max) and sort lexicographically."""
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if e.size == 0:
+        return e
+    lo = np.minimum(e[:, 0], e[:, 1])
+    hi = np.maximum(e[:, 0], e[:, 1])
+    order = np.lexsort((hi, lo))
+    return np.column_stack((lo[order], hi[order]))
+
+
+def extract_maximal_chordal_subgraph(
+    graph: CSRGraph,
+    *,
+    engine: str = "superstep",
+    variant: str = "optimized",
+    schedule: str = "asynchronous",
+    num_threads: int = 4,
+    renumber: str | None = None,
+    stitch: bool = False,
+    maximalize: bool = False,
+    collect_trace: bool = False,
+    cost_params: CostModelParams | None = None,
+    max_iterations: int | None = None,
+) -> ChordalResult:
+    """Extract a maximal chordal subgraph with Algorithm 1.
+
+    Parameters
+    ----------
+    graph:
+        Input graph (any :class:`~repro.graph.csr.CSRGraph`).
+    engine:
+        ``"superstep"`` (serial array engine, default), ``"threaded"``
+        (real thread team) or ``"reference"`` (literal pseudocode).
+    variant:
+        ``"optimized"`` (sorted adjacency) or ``"unoptimized"``.
+    schedule:
+        ``"asynchronous"`` (default) serialises each iteration as an
+        ascending live sweep — the paper-matching execution whose
+        iteration counts reproduce Figure 7 (~3 iterations on R-MAT, ~10
+        on the gene networks).  ``"synchronous"`` uses barrier-snapshot
+        semantics (one parent per vertex per superstep) — deterministic
+        across engines and thread counts, with iteration count equal to
+        the maximum lower-degree.
+    num_threads:
+        Thread-team size for the threaded engine.
+    renumber:
+        ``"bfs"`` renumbers vertices in BFS order before extraction and
+        maps the edge set back — on connected inputs this guarantees the
+        output is connected and therefore maximal (Theorem 2 + corollary).
+        ``None`` (default) runs on the ids as given, like the paper's
+        experiments.
+    stitch:
+        Join disconnected output components with single bridges (paper's
+        component-combination corollary).
+    maximalize:
+        Run the serial completion pass that re-offers every rejected edge,
+        guaranteeing a *certified* maximal result.  Needed because the
+        paper's Theorem 2 overclaims — Algorithm 1 alone can leave a few
+        addable edges behind (see ``repro.core.maximalize``).  The number
+        of edges the pass added is reported as ``result.maximality_gap``.
+    collect_trace:
+        Capture the work trace for the machine models (superstep engine
+        only).
+    cost_params / max_iterations:
+        Forwarded to the engine.
+
+    Returns
+    -------
+    :class:`ChordalResult`
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r}; expected one of {SCHEDULES}")
+    if renumber not in (None, "bfs"):
+        raise ValueError(f"renumber must be None or 'bfs', got {renumber!r}")
+    if collect_trace and engine != "superstep":
+        raise ValueError("collect_trace requires engine='superstep'")
+
+    work_graph = graph
+    old_of_new: np.ndarray | None = None
+    if renumber == "bfs":
+        work_graph, new_of_old = bfs_renumber(graph)
+        old_of_new = np.empty_like(new_of_old)
+        old_of_new[new_of_old] = np.arange(new_of_old.size)
+
+    trace: WorkTrace | None = None
+    if engine == "superstep":
+        edges, queue_sizes, trace = superstep_max_chordal(
+            work_graph,
+            variant=variant,
+            schedule=schedule,
+            collect_trace=collect_trace,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+        )
+    elif engine == "threaded":
+        edges, queue_sizes = threaded_max_chordal(
+            work_graph,
+            num_threads=num_threads,
+            variant=variant,
+            schedule=schedule,
+            max_iterations=max_iterations,
+        )
+    else:
+        # The reference engine has no Opt/Unopt cost asymmetry; the two
+        # variants differ only in cost, so the edge set is identical.
+        edges, queue_sizes = reference_max_chordal(
+            work_graph, schedule=schedule, max_iterations=max_iterations
+        )
+
+    if old_of_new is not None and edges.size:
+        edges = np.column_stack((old_of_new[edges[:, 0]], old_of_new[edges[:, 1]]))
+
+    stitched = 0
+    if stitch:
+        before = edges.shape[0]
+        edges = stitch_components(graph, edges)
+        stitched = edges.shape[0] - before
+
+    gap = 0
+    if maximalize:
+        edges, gap = maximalize_chordal_edges(graph, edges)
+
+    return ChordalResult(
+        edges=_canonical_edges(edges),
+        queue_sizes=queue_sizes,
+        variant=variant,
+        engine=engine,
+        graph=graph,
+        schedule=schedule,
+        trace=trace,
+        renumbered=renumber == "bfs",
+        stitched_bridges=stitched,
+        maximality_gap=gap,
+    )

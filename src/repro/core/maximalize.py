@@ -1,0 +1,84 @@
+"""Maximality completion pass (closes the Theorem 2 gap).
+
+The paper's Theorem 2 asserts that a connected output of Algorithm 1 is
+maximal, but its proof is incomplete and the claim fails on real inputs:
+the subset test ``C[w] ⊆ C[v]`` evaluates *while ``C[v]`` is still
+growing*, so an edge can be rejected that would have passed against the
+final sets (see ``tests/test_theorem2_gap.py`` for a machine-checked
+counterexample and ``EXPERIMENTS.md`` for how rare this is in practice).
+
+:func:`maximalize_chordal_edges` greedily re-offers every rejected edge to
+the chordal subgraph using the O(V+E)-per-edge addability criterion of
+:mod:`repro.chordality.maximality` and accepts those that keep the graph
+chordal, yielding a certified-maximal chordal subgraph containing the
+algorithm's output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chordality.maximality import edge_addable
+from repro.graph.csr import CSRGraph
+
+__all__ = ["maximalize_chordal_edges"]
+
+
+def maximalize_chordal_edges(
+    graph: CSRGraph, chordal_edges: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Greedily extend ``chordal_edges`` to a truly maximal chordal edge set.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    chordal_edges:
+        ``(k, 2)`` chordal edge set (must induce a chordal subgraph; this
+        is guaranteed for Algorithm 1 output by Theorem 1).
+
+    Returns
+    -------
+    ``(edges, added)`` — the extended ``(k + added, 2)`` edge array and the
+    number of edges the pass added.  ``added`` is the paper's "maximality
+    gap" for this input.
+
+    Notes
+    -----
+    Greedy is safe: after each accepted edge the graph is still chordal,
+    and an edge rejected now stays unaddable only *for the current graph*;
+    we therefore sweep until a full pass adds nothing.  In practice one
+    pass almost always suffices (adding an edge only makes other additions
+    harder within the same region, but a later addition can in principle
+    disconnect a common neighborhood, so the loop is kept for correctness).
+    """
+    base = np.asarray(chordal_edges, dtype=np.int64).reshape(-1, 2)
+    adj: list[set[int]] = [set() for _ in range(graph.num_vertices)]
+    have: set[tuple[int, int]] = set()
+    for u, v in base:
+        u, v = int(u), int(v)
+        adj[u].add(v)
+        adj[v].add(u)
+        have.add((min(u, v), max(u, v)))
+
+    candidates = sorted(graph.edge_set() - have)
+    added: list[tuple[int, int]] = []
+    while True:
+        progress = False
+        remaining: list[tuple[int, int]] = []
+        for u, v in candidates:
+            if edge_addable(adj, u, v):
+                adj[u].add(v)
+                adj[v].add(u)
+                added.append((u, v))
+                progress = True
+            else:
+                remaining.append((u, v))
+        candidates = remaining
+        if not progress or not candidates:
+            break
+
+    if not added:
+        return base, 0
+    extended = np.vstack((base, np.asarray(added, dtype=np.int64)))
+    return extended, len(added)

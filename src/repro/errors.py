@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class.  Input validation failures raise
+:class:`GraphFormatError` (malformed construction data) or plain
+``ValueError`` (bad scalar arguments), matching common NumPy/SciPy practice.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """Raised when graph construction input is malformed.
+
+    Examples: negative vertex ids, edge endpoints out of range, indptr
+    arrays that are not monotonically non-decreasing.
+    """
+
+
+class NotChordalError(ReproError):
+    """Raised when an operation requires a chordal graph but the input
+    graph is not chordal (e.g. clique-tree construction)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative procedure exceeds its iteration budget.
+
+    Algorithm 1 terminates in at most ``Delta`` iterations; exceeding a
+    generous multiple of that indicates an internal bug, so the engines
+    raise this instead of looping forever.
+    """
+
+
+class MachineModelError(ReproError):
+    """Raised for invalid machine-model configurations (e.g. zero
+    processors, negative latencies)."""

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(**params) -> ExperimentResult`` and is
+registered in :mod:`repro.experiments.registry`; the CLI
+(``python -m repro.experiments <id>``) and the benchmark suite
+(``benchmarks/``) are thin wrappers over these functions.
+
+Index (see DESIGN.md §4 and EXPERIMENTS.md for paper-vs-measured):
+
+========  ==========================================================
+id        artifact
+========  ==========================================================
+table1    Table I   — test-suite graph properties
+table2    Table II  — speedups at 128 XMT procs / 32 AMD cores
+fig2      Figure 2  — avg clustering coefficient vs #neighbors
+fig3      Figure 3  — shortest-path length distribution
+fig4      Figure 4  — synthetic-graph scaling on XMT and Opteron
+fig5      Figure 5  — gene-network scaling on XMT and Opteron
+fig6      Figure 6  — relative XMT vs Opteron performance
+fig7      Figure 7  — queue sizes and iteration counts
+chordal_fraction — §V text: percentage of chordal edges
+maximality_gap   — erratum: Theorem 2 gap quantified (ours)
+ablation         — schedule/engine/stitching ablations (ours)
+========  ==========================================================
+"""
+
+from repro.experiments.report import ExperimentResult, format_table, format_series
+from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "format_series",
+    "REGISTRY",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,89 @@
+"""Figure 4 — scaling of the synthetic graphs on XMT and Opteron.
+
+Paper layout: six panels — (RMAT-ER, RMAT-G, RMAT-B) x (XMT, Opteron) —
+each with strong-scaling curves (time vs processors, log-log) for three
+scales and both variants (XMT) / the unoptimized variant (Opteron).
+
+Shape criteria: near-linear descent on XMT for ER/G with flattening at
+full machine; RMAT-B flattens earliest; Opteron curves descend to 32
+cores with a shallower slope; weak scaling (reading across scales at
+fixed processor count) roughly doubles time per scale step.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.testsuite import (
+    AMD_PROCS,
+    DEFAULT_SCALES,
+    DEFAULT_SEED,
+    XMT_PROCS,
+    rmat_spec,
+    trace_for,
+)
+from repro.machine.calibration import default_opteron, default_xmt
+
+__all__ = ["run"]
+
+
+def run(
+    scales=DEFAULT_SCALES,
+    kinds=("RMAT-ER", "RMAT-G", "RMAT-B"),
+    seed: int = DEFAULT_SEED,
+    xmt_procs=XMT_PROCS,
+    amd_procs=AMD_PROCS,
+) -> ExperimentResult:
+    """Regenerate all Figure 4 series as ``{series: [(procs, seconds)]}``.
+
+    Series naming follows the paper's legends: ``RMAT-B/XMT/S12-Opt`` etc.
+    """
+    xmt = default_xmt()
+    amd = default_opteron()
+    series: dict[str, list[tuple]] = {}
+    rows: list[list] = []
+    for kind in kinds:
+        for scale in scales:
+            spec = rmat_spec(kind, scale, seed)
+            for variant, tag in (("unoptimized", "Unopt"), ("optimized", "Opt")):
+                trace = trace_for(spec, variant)
+                xs = [
+                    (p, xmt.simulate(trace, p).total_seconds) for p in xmt_procs
+                ]
+                series[f"{kind}/XMT/S{scale}-{tag}"] = xs
+                if variant == "unoptimized":
+                    am = [
+                        (p, amd.simulate(trace, p).total_seconds) for p in amd_procs
+                    ]
+                    series[f"{kind}/AMD/S{scale}-{tag}"] = am
+                    rows.append(
+                        [
+                            f"{kind}({scale})",
+                            tag,
+                            round(xs[0][1] * 1e3, 3),
+                            round(xs[-1][1] * 1e3, 3),
+                            round(am[0][1] * 1e3, 3),
+                            round(am[-1][1] * 1e3, 3),
+                        ]
+                    )
+                else:
+                    rows.append(
+                        [
+                            f"{kind}({scale})",
+                            tag,
+                            round(xs[0][1] * 1e3, 3),
+                            round(xs[-1][1] * 1e3, 3),
+                            "-",
+                            "-",
+                        ]
+                    )
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Synthetic-graph scaling on XMT and Opteron (paper Fig 4)",
+        headers=["Graph", "Variant", "XMT@1 ms", "XMT@max ms", "AMD@1 ms", "AMD@32 ms"],
+        rows=rows,
+        series=series,
+        notes=[
+            f"scales {tuple(scales)} stand in for the paper's 24/25/26",
+            "paper plots Opteron Unopt only in Fig 4; we follow that",
+        ],
+    )

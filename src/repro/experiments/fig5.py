@@ -1,0 +1,67 @@
+"""Figure 5 — scaling of the gene-correlation networks.
+
+Paper layout: four panels — (GSE5140, GSE17072) x (XMT, Opteron) — with
+both variants per network; the XMT sweeps 2-16 processors (the inputs
+are too small for more), the Opteron 1-32 cores.
+
+Shape criteria: shallow descent (limited speedup) everywhere; the
+optimized variant is clearly faster than unoptimized on the XMT but not
+on the Opteron.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.testsuite import (
+    AMD_PROCS,
+    DEFAULT_BIO_FRACTION,
+    DEFAULT_SEED,
+    bio_specs,
+    trace_for,
+)
+from repro.machine.calibration import default_opteron, default_xmt
+
+__all__ = ["run"]
+
+XMT_BIO_PROCS = (2, 4, 8, 16)
+
+
+def run(
+    bio_fraction: float = DEFAULT_BIO_FRACTION,
+    seed: int = DEFAULT_SEED,
+    xmt_procs=XMT_BIO_PROCS,
+    amd_procs=AMD_PROCS,
+) -> ExperimentResult:
+    """Regenerate all Figure 5 series as ``{series: [(procs, seconds)]}``."""
+    xmt = default_xmt()
+    amd = default_opteron()
+    series: dict[str, list[tuple]] = {}
+    rows: list[list] = []
+    for spec in bio_specs(bio_fraction, seed):
+        for variant, tag in (("unoptimized", "Unopt"), ("optimized", "Opt")):
+            trace = trace_for(spec, variant)
+            xs = [(p, xmt.simulate(trace, p).total_seconds) for p in xmt_procs]
+            am = [(p, amd.simulate(trace, p).total_seconds) for p in amd_procs]
+            series[f"{spec.name}/XMT-{tag}"] = xs
+            series[f"{spec.name}/AMD-{tag}"] = am
+            rows.append(
+                [
+                    spec.name,
+                    tag,
+                    round(xs[0][1] * 1e6, 1),
+                    round(xs[-1][1] * 1e6, 1),
+                    round(am[0][1] * 1e6, 1),
+                    round(am[-1][1] * 1e6, 1),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Gene-network scaling on XMT and Opteron (paper Fig 5)",
+        headers=["Network", "Variant", "XMT@2 us", "XMT@16 us", "AMD@1 us", "AMD@32 us"],
+        rows=rows,
+        series=series,
+        notes=[
+            f"GEO replicas at linear fraction {bio_fraction:g} "
+            "(preserves the paper's bio<<synthetic size ratio)",
+        ],
+    )

@@ -1,0 +1,57 @@
+"""Figure 6 — relative performance of XMT and Opteron on the same graph.
+
+Paper layout: two panels (RMAT-ER and RMAT-B, SCALE=24, generated once
+and run on both platforms), four curves each: XMT-Unopt, XMT-Opt,
+AMD-Unopt, AMD-Opt, over 1-32 processors.
+
+Shape criteria (paper Section V, "Relative Performance"):
+
+* RMAT-ER runs faster *and scales better* on the XMT;
+* RMAT-B starts faster on the Opteron; as processors increase the
+  optimized XMT curve undercuts it, while AMD stays ahead of XMT-Unopt;
+* the two AMD variants nearly coincide.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.testsuite import DEFAULT_SEED, rmat_spec, trace_for
+from repro.machine.calibration import default_opteron, default_xmt
+
+__all__ = ["run"]
+
+PROCS = (1, 2, 4, 8, 16, 32)
+
+
+def run(scale: int = 12, seed: int = DEFAULT_SEED, procs=PROCS) -> ExperimentResult:
+    """Regenerate both panels as ``{series: [(procs, seconds)]}``."""
+    xmt = default_xmt()
+    amd = default_opteron()
+    series: dict[str, list[tuple]] = {}
+    rows: list[list] = []
+    for kind in ("RMAT-ER", "RMAT-B"):
+        spec = rmat_spec(kind, scale, seed)
+        for variant, tag in (("unoptimized", "Unopt"), ("optimized", "Opt")):
+            trace = trace_for(spec, variant)
+            xs = [(p, xmt.simulate(trace, p).total_seconds) for p in procs]
+            am = [(p, amd.simulate(trace, p).total_seconds) for p in procs]
+            series[f"{kind}/XMT-{tag}"] = xs
+            series[f"{kind}/AMD-{tag}"] = am
+            rows.append(
+                [
+                    kind,
+                    tag,
+                    round(xs[0][1] * 1e3, 3),
+                    round(xs[-1][1] * 1e3, 3),
+                    round(am[0][1] * 1e3, 3),
+                    round(am[-1][1] * 1e3, 3),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Relative XMT vs Opteron performance (paper Fig 6)",
+        headers=["Graph", "Variant", "XMT@1 ms", "XMT@32 ms", "AMD@1 ms", "AMD@32 ms"],
+        rows=rows,
+        series=series,
+        notes=[f"single graph per kind at scale {scale}, replayed on both models"],
+    )

@@ -1,0 +1,68 @@
+"""Figure 7 — queue sizes and iteration counts.
+
+Paper layout: stacked queue sizes per iteration for (a) RMAT-B at three
+scales, (b) GSE5140 CRT/UNT, (c) GSE17072 CTL/NON.
+
+Shape criteria: for R-MAT the second queue is the largest ("most of the
+LPs were processed in the first and second iterations, slightly more in
+the second") followed by rapid decay; the biological networks take
+noticeably more iterations than the synthetic graphs despite being far
+smaller.
+
+Reproduction note: the paper reports ~3 iterations for R-MAT and ~10 for
+the gene networks; the deterministic maximal-progress serialisation of
+Algorithm 1 yields more (the counts are a race artifact of the chaotic
+hardware execution — see EXPERIMENTS.md), but the Q2 > Q1 ordering,
+rapid decay, and bio >> synthetic relation all hold.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.testsuite import (
+    DEFAULT_BIO_FRACTION,
+    DEFAULT_SCALES,
+    DEFAULT_SEED,
+    bio_specs,
+    rmat_spec,
+    trace_for,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    scales=DEFAULT_SCALES,
+    bio_fraction: float = DEFAULT_BIO_FRACTION,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Regenerate the queue-size series (iteration -> |Q1|)."""
+    series: dict[str, list[tuple]] = {}
+    rows: list[list] = []
+    specs = [rmat_spec("RMAT-B", s, seed) for s in scales] + bio_specs(bio_fraction, seed)
+    for spec in specs:
+        trace = trace_for(spec, "optimized")
+        qs = trace.queue_sizes
+        series[spec.name] = [(i + 1, q) for i, q in enumerate(qs)]
+        rows.append(
+            [
+                spec.name,
+                len(qs),
+                qs[0] if qs else 0,
+                qs[1] if len(qs) > 1 else 0,
+                max(qs) if qs else 0,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Queue sizes and iteration counts (paper Fig 7)",
+        headers=["Graph", "Iterations", "Q1", "Q2", "QMax"],
+        rows=rows,
+        series=series,
+        notes=[
+            "paper: ~3 iterations for R-MAT, ~10 for the gene networks; "
+            "Q2 slightly exceeds Q1 and later queues decay fast",
+            "our deterministic serialisation yields more iterations "
+            "(race artifact; see EXPERIMENTS.md) but preserves the shape relations",
+        ],
+    )

@@ -1,0 +1,62 @@
+"""Maximality gap — quantifying the Theorem 2 erratum (our addition).
+
+The paper's Theorem 2 claims a connected output of Algorithm 1 is a
+*maximal* chordal subgraph; the proof is incomplete and the claim fails
+on real inputs (see ``repro.core.maximalize`` and
+``tests/test_theorem2_gap.py``).  This experiment measures how many edges
+the certified completion pass adds on the test suite — i.e. how far from
+maximal Algorithm 1's raw output is — and compares the edge yield against
+the truly-maximal serial Dearing baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.dearing import dearing_max_chordal
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.experiments.report import ExperimentResult
+from repro.experiments.testsuite import (
+    DEFAULT_SEED,
+    bio_specs,
+    build_graph_cached,
+    rmat_specs,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    scales=(8, 9, 10),
+    bio_fraction: float = 1.0 / 64.0,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    """Measure the completion-pass gap across the (small-scale) suite."""
+    rows = []
+    for spec in rmat_specs(scales, seed) + bio_specs(bio_fraction, seed):
+        graph = build_graph_cached(spec)
+        result = extract_maximal_chordal_subgraph(
+            graph, renumber="bfs", maximalize=True
+        )
+        raw_edges = result.num_chordal_edges - result.maximality_gap
+        dearing_edges = int(dearing_max_chordal(graph).shape[0])
+        rows.append(
+            [
+                spec.name,
+                graph.num_edges,
+                raw_edges,
+                result.maximality_gap,
+                round(result.maximality_gap / max(raw_edges, 1), 4),
+                dearing_edges,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="maximality_gap",
+        title="Theorem 2 gap: edges the completion pass adds (erratum, ours)",
+        headers=["Graph", "Edges", "Alg1Edges", "GapEdges", "GapFraction", "DearingEdges"],
+        rows=rows,
+        notes=[
+            "GapEdges > 0 on typical inputs: Algorithm 1 alone is not maximal "
+            "(paper Theorem 2 overclaims); the gap is small relative to |EC|",
+            "Dearing (max-label selection) is certified maximal and typically "
+            "yields the most edges",
+        ],
+    )

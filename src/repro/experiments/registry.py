@@ -1,0 +1,51 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation,
+    chordal_fraction,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    maximality_gap,
+    table1,
+    table2,
+)
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["REGISTRY", "get_experiment", "list_experiments"]
+
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "chordal_fraction": chordal_fraction.run,
+    "maximality_gap": maximality_gap.run,
+    "ablation": ablation.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment by id (raises ``KeyError`` with the list)."""
+    try:
+        return REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(REGISTRY)

@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints tables/series in the same row/series structure the
+paper reports, so a diff against EXPERIMENTS.md is a one-glance check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table", "format_series"]
+
+
+def _fmt_cell(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.001:
+            return f"{x:.3g}"
+        return f"{x:.3f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render an aligned fixed-width table."""
+    cells = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: dict[str, list[tuple]]) -> str:
+    """Render ``{name: [(x, y), ...]}`` one series per block."""
+    lines: list[str] = []
+    for name in sorted(series):
+        lines.append(f"[{name}]")
+        for x, y in series[name]:
+            lines.append(f"  {_fmt_cell(x):>10}  {_fmt_cell(y)}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result object for tables and figures.
+
+    ``rows`` carries tabular artifacts (Table I/II style); ``series``
+    carries figure artifacts (name -> (x, y) points).  ``notes`` records
+    scale substitutions and deviations for EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list] = field(default_factory=list)
+    series: dict[str, list[tuple]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.series:
+            parts.append(format_series(self.series))
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n".join(parts)

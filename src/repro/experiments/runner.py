@@ -1,0 +1,80 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table1 [--scales 10,11,12] [--seed N]
+    python -m repro.experiments all
+    repro-experiments fig7 --bio-fraction 0.015625
+
+Each experiment prints its table and/or series in the format recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
+
+__all__ = ["main"]
+
+
+def _parse_scales(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(s) for s in text.split(",") if s.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad scale list {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; one of: {', '.join(list_experiments())}",
+    )
+    parser.add_argument("--scales", type=_parse_scales, default=None,
+                        help="comma-separated R-MAT scales (e.g. 12,13,14)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="single scale (fig2/fig3/fig6/ablation)")
+    parser.add_argument("--bio-fraction", type=float, default=None,
+                        help="linear scale of the GEO replicas (e.g. 0.015625)")
+    parser.add_argument("--seed", type=int, default=None, help="suite RNG seed")
+    return parser
+
+
+def _kwargs_for(experiment_id: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    import inspect
+
+    signature = inspect.signature(REGISTRY[experiment_id])
+    if args.scales is not None and "scales" in signature.parameters:
+        kwargs["scales"] = args.scales
+    if args.scale is not None and "scale" in signature.parameters:
+        kwargs["scale"] = args.scale
+    if args.bio_fraction is not None and "bio_fraction" in signature.parameters:
+        kwargs["bio_fraction"] = args.bio_fraction
+    if args.seed is not None and "seed" in signature.parameters:
+        kwargs["seed"] = args.seed
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    ids = list_experiments() if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        run = get_experiment(experiment_id)
+        start = time.perf_counter()
+        result = run(**_kwargs_for(experiment_id, args))
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{experiment_id} completed in {elapsed:.2f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

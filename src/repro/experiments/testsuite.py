@@ -1,0 +1,161 @@
+"""The reproduction's test-suite graphs (paper Section IV-B), with caching.
+
+Scale substitution (DESIGN.md §3): the paper's synthetic graphs use
+SCALE 24-26 (up to half a billion edges); we default to SCALE 10-12 for
+interactive runs and 12-14 for the scaling experiments, overridable from
+the CLI.  Bio replicas default to a 1/64 linear scale for the scaling
+experiments (keeping the paper's bio-much-smaller-than-synthetic size
+*ratio*) and larger fractions for the structural figures.
+
+Graphs and instrumented traces are memoised per process so that Table II
+and Figures 4-7 share work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.core.instrument import WorkTrace
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.bio import (
+    GSE17072_CTL,
+    GSE17072_NON,
+    GSE5140_CRT,
+    GSE5140_UNT,
+    BioNetworkParams,
+    bio_network,
+)
+from repro.graph.generators.rmat import (
+    RMAT_B_PROBS,
+    RMAT_ER_PROBS,
+    RMAT_G_PROBS,
+    RMATParams,
+    rmat_graph,
+)
+
+__all__ = [
+    "GraphSpec",
+    "DEFAULT_SEED",
+    "DEFAULT_SCALES",
+    "FULL_SCALES",
+    "DEFAULT_BIO_FRACTION",
+    "XMT_PROCS",
+    "AMD_PROCS",
+    "rmat_spec",
+    "rmat_specs",
+    "bio_specs",
+    "build_graph_cached",
+    "trace_for",
+    "clear_cache",
+]
+
+#: Seed used everywhere unless overridden (deterministic suite).
+DEFAULT_SEED = 2012_09_10  # ICPP 2012
+
+#: Quick interactive scales (stand-ins for the paper's 24/25/26).
+DEFAULT_SCALES = (10, 11, 12)
+
+#: Scales used for the recorded EXPERIMENTS.md runs.
+FULL_SCALES = (12, 13, 14)
+
+#: Linear scale applied to the GEO replicas in the scaling experiments.
+DEFAULT_BIO_FRACTION = 1.0 / 64.0
+
+#: Processor sweeps, matching the paper's figures.
+XMT_PROCS = (1, 2, 4, 8, 16, 32, 64, 128)
+AMD_PROCS = (1, 2, 4, 8, 16, 32)
+
+_RMAT_KINDS = {
+    "RMAT-ER": RMAT_ER_PROBS,
+    "RMAT-G": RMAT_G_PROBS,
+    "RMAT-B": RMAT_B_PROBS,
+}
+
+_BIO_PRESETS: dict[str, BioNetworkParams] = {
+    "GSE5140(CRT)": GSE5140_CRT,
+    "GSE5140(UNT)": GSE5140_UNT,
+    "GSE17072(CTL)": GSE17072_CTL,
+    "GSE17072(NON)": GSE17072_NON,
+}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Identifies one reproducible test-suite graph."""
+
+    name: str
+    kind: str                 # 'rmat' or 'bio'
+    rmat_kind: str = ""       # one of _RMAT_KINDS when kind == 'rmat'
+    scale: int = 0
+    preset: str = ""          # one of _BIO_PRESETS when kind == 'bio'
+    fraction: float = 1.0
+    seed: int = DEFAULT_SEED
+
+
+def rmat_spec(rmat_kind: str, scale: int, seed: int = DEFAULT_SEED) -> GraphSpec:
+    if rmat_kind not in _RMAT_KINDS:
+        raise ValueError(f"unknown R-MAT kind {rmat_kind!r}; expected {sorted(_RMAT_KINDS)}")
+    return GraphSpec(
+        name=f"{rmat_kind}({scale})", kind="rmat", rmat_kind=rmat_kind, scale=scale, seed=seed
+    )
+
+
+def rmat_specs(scales=DEFAULT_SCALES, seed: int = DEFAULT_SEED) -> list[GraphSpec]:
+    """The paper's nine synthetic instances (3 kinds x the given scales)."""
+    return [rmat_spec(kind, s, seed) for kind in _RMAT_KINDS for s in scales]
+
+
+def bio_specs(fraction: float = DEFAULT_BIO_FRACTION, seed: int = DEFAULT_SEED) -> list[GraphSpec]:
+    """The four GEO replica networks at the given linear scale."""
+    return [
+        GraphSpec(name=p, kind="bio", preset=p, fraction=fraction, seed=seed)
+        for p in _BIO_PRESETS
+    ]
+
+
+# ----------------------------------------------------------------------
+# Caches
+# ----------------------------------------------------------------------
+_graph_cache: dict[GraphSpec, CSRGraph] = {}
+_trace_cache: dict[tuple[GraphSpec, str], WorkTrace] = {}
+
+
+def build_graph_cached(spec: GraphSpec) -> CSRGraph:
+    """Build (or fetch) the graph for ``spec``."""
+    cached = _graph_cache.get(spec)
+    if cached is not None:
+        return cached
+    if spec.kind == "rmat":
+        params = RMATParams(spec.scale, probs=_RMAT_KINDS[spec.rmat_kind], name=spec.rmat_kind)
+        graph = rmat_graph(params, seed=spec.seed)
+    elif spec.kind == "bio":
+        params = _BIO_PRESETS[spec.preset]
+        if spec.fraction < 1.0:
+            params = params.scaled(spec.fraction)
+        graph = bio_network(params, seed=spec.seed)
+    else:
+        raise ValueError(f"unknown graph kind {spec.kind!r}")
+    _graph_cache[spec] = graph
+    return graph
+
+
+def trace_for(spec: GraphSpec, variant: str) -> WorkTrace:
+    """Instrumented extraction trace for (graph, variant), memoised."""
+    key = (spec, variant)
+    cached = _trace_cache.get(key)
+    if cached is not None:
+        return cached
+    graph = build_graph_cached(spec)
+    result = extract_maximal_chordal_subgraph(
+        graph, variant=variant, collect_trace=True
+    )
+    assert result.trace is not None
+    _trace_cache[key] = result.trace
+    return result.trace
+
+
+def clear_cache() -> None:
+    """Drop all memoised graphs and traces (tests use this)."""
+    _graph_cache.clear()
+    _trace_cache.clear()

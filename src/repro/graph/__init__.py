@@ -1,0 +1,42 @@
+"""Graph substrate: compressed (CSR) storage, builders, generators, BFS, I/O.
+
+The paper stores graphs in "a compressed storage format ... where the
+neighbors of each vertex are stored contiguously" (Section V); this package
+is that substrate.  :class:`repro.graph.CSRGraph` is the single graph type
+used by every algorithm in the library.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import (
+    build_graph,
+    from_edge_array,
+    from_adjacency_dict,
+    from_networkx,
+)
+from repro.graph.ops import (
+    edge_subgraph,
+    induced_subgraph,
+    relabel,
+    union_edges,
+    complement,
+    degree_histogram,
+)
+from repro.graph.bfs import bfs_levels, bfs_order, connected_components, bfs_renumber
+
+__all__ = [
+    "CSRGraph",
+    "build_graph",
+    "from_edge_array",
+    "from_adjacency_dict",
+    "from_networkx",
+    "edge_subgraph",
+    "induced_subgraph",
+    "relabel",
+    "union_edges",
+    "complement",
+    "degree_histogram",
+    "bfs_levels",
+    "bfs_order",
+    "connected_components",
+    "bfs_renumber",
+]

@@ -1,0 +1,136 @@
+"""Construction of :class:`~repro.graph.csr.CSRGraph` from raw edge data.
+
+The builder is the canonical sanitiser: it drops self-loops, deduplicates
+parallel edges, symmetrises, and emits sorted adjacency.  R-MAT in
+particular produces duplicate edges and self-loops by design, so every
+generator routes through :func:`from_edge_array`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["build_graph", "from_edge_array", "from_adjacency_dict", "from_networkx"]
+
+
+def _best_index_dtype(n: int) -> np.dtype:
+    """int32 when ids fit (cache-friendlier, matching the paper's platforms),
+    int64 otherwise."""
+    return np.dtype(np.int32) if n <= np.iinfo(np.int32).max else np.dtype(np.int64)
+
+
+def from_edge_array(
+    num_vertices: int,
+    edges: np.ndarray,
+    *,
+    allow_out_of_range: bool = False,
+) -> CSRGraph:
+    """Build a simple undirected graph from an ``(m, 2)`` integer edge array.
+
+    Self-loops are removed, duplicate (and reversed-duplicate) edges are
+    collapsed, and adjacency slices come out strictly increasing.
+
+    Parameters
+    ----------
+    num_vertices:
+        The vertex-set size ``n``; endpoints must lie in ``[0, n)``.
+    edges:
+        ``(m, 2)`` array-like of endpoints.  May be empty.
+    allow_out_of_range:
+        If True, silently drop edges with endpoints outside ``[0, n)``
+        instead of raising (used by samplers that over-generate).
+    """
+    if num_vertices < 0:
+        raise GraphFormatError(f"num_vertices must be >= 0, got {num_vertices}")
+    e = np.asarray(edges, dtype=np.int64)
+    if e.size == 0:
+        e = e.reshape(0, 2)
+    if e.ndim != 2 or e.shape[1] != 2:
+        raise GraphFormatError(f"edges must have shape (m, 2), got {e.shape}")
+
+    if e.shape[0]:
+        in_range = (e >= 0).all(axis=1) & (e < num_vertices).all(axis=1)
+        if not in_range.all():
+            if allow_out_of_range:
+                e = e[in_range]
+            else:
+                bad = e[~in_range][0]
+                raise GraphFormatError(
+                    f"edge ({bad[0]}, {bad[1]}) out of range for n={num_vertices}"
+                )
+
+    # Canonicalise: drop loops, order endpoints, dedupe via scalar encoding.
+    if e.shape[0]:
+        e = e[e[:, 0] != e[:, 1]]
+    if e.shape[0]:
+        lo = np.minimum(e[:, 0], e[:, 1])
+        hi = np.maximum(e[:, 0], e[:, 1])
+        keys = lo * np.int64(num_vertices) + hi
+        keys = np.unique(keys)
+        lo = keys // num_vertices
+        hi = keys % num_vertices
+    else:
+        lo = np.empty(0, dtype=np.int64)
+        hi = np.empty(0, dtype=np.int64)
+
+    dtype = _best_index_dtype(num_vertices)
+    src = np.concatenate((lo, hi))
+    dst = np.concatenate((hi, lo))
+    counts = np.bincount(src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+
+    order = np.lexsort((dst, src))
+    indices = dst[order].astype(dtype)
+    return CSRGraph(indptr, indices, sorted_adjacency=True, validate=False)
+
+
+def build_graph(num_vertices: int, edges: Iterable[tuple[int, int]]) -> CSRGraph:
+    """Build a graph from any iterable of ``(u, v)`` pairs.
+
+    Convenience wrapper over :func:`from_edge_array` for hand-written edge
+    lists in tests and examples.
+    """
+    edge_list = list(edges)
+    arr = np.asarray(edge_list, dtype=np.int64) if edge_list else np.empty((0, 2), np.int64)
+    return from_edge_array(num_vertices, arr)
+
+
+def from_adjacency_dict(adj: Mapping[int, Iterable[int]]) -> CSRGraph:
+    """Build a graph from ``{vertex: neighbors}``.
+
+    The vertex set is ``0 .. max_id`` where ``max_id`` is the largest id
+    appearing as a key or neighbor; the mapping need not mention every
+    vertex and need not be symmetric (symmetry is restored).
+    """
+    pairs: list[tuple[int, int]] = []
+    max_id = -1
+    for u, nbrs in adj.items():
+        u = int(u)
+        max_id = max(max_id, u)
+        for v in nbrs:
+            v = int(v)
+            max_id = max(max_id, v)
+            pairs.append((u, v))
+    return build_graph(max_id + 1, pairs)
+
+
+def from_networkx(nx_graph) -> CSRGraph:
+    """Convert a ``networkx.Graph`` with integer labels ``0..n-1``.
+
+    Only used in tests/examples; networkx is an optional dependency so the
+    import happens at call time.
+    """
+    n = nx_graph.number_of_nodes()
+    nodes = sorted(nx_graph.nodes())
+    if nodes and (nodes[0] != 0 or nodes[-1] != n - 1):
+        raise GraphFormatError("networkx graph must be labelled 0..n-1")
+    edges = np.asarray([(u, v) for u, v in nx_graph.edges()], dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    return from_edge_array(n, edges)

@@ -1,0 +1,242 @@
+"""Immutable undirected graph in compressed sparse row (CSR) form.
+
+Design notes
+------------
+* Vertices are the integers ``0 .. n-1``.  The paper numbers vertices from 1
+  and uses 0 as the "no lowest parent" sentinel; we use 0-based ids and
+  ``-1`` as the sentinel throughout the library.
+* The structure is *symmetric*: each undirected edge ``{u, v}`` appears as
+  both ``(u, v)`` and ``(v, u)`` in ``indices``.  ``num_edges`` reports the
+  undirected count.
+* ``sorted_adjacency`` records whether every adjacency slice is strictly
+  increasing.  The paper's "Opt" variant requires sorted lists (finds the
+  next lowest parent in O(1) amortised); the "Unopt" variant deliberately
+  uses unsorted lists.  :meth:`CSRGraph.shuffled` produces an equivalent
+  graph with randomly permuted adjacency slices for Unopt experiments.
+* Arrays are frozen (``writeable = False``) — every algorithm treats the
+  graph as read-only shared state, exactly as the multithreaded algorithm
+  requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Undirected graph stored as symmetric CSR arrays.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; adjacency of vertex ``v`` is
+        ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        ``int32`` or ``int64`` array of neighbor ids (each undirected edge
+        present in both directions).
+    sorted_adjacency:
+        Declare whether each adjacency slice is strictly increasing.  When
+        ``validate=True`` the declaration is checked.
+    validate:
+        Run full structural validation (symmetry is *not* checked here — it
+        is checked by the builder which is the normal entry point; direct
+        constructor users can call :meth:`validate_symmetry`).
+    """
+
+    __slots__ = ("indptr", "indices", "sorted_adjacency", "_degrees")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        *,
+        sorted_adjacency: bool,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices)
+        if indices.dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+            indices = indices.astype(np.int64)
+        if validate:
+            self._validate(indptr, indices, sorted_adjacency)
+        self.indptr = indptr
+        self.indices = indices
+        self.sorted_adjacency = bool(sorted_adjacency)
+        self._degrees = np.diff(indptr)
+        for arr in (self.indptr, self.indices, self._degrees):
+            arr.setflags(write=False)
+
+    @staticmethod
+    def _validate(indptr: np.ndarray, indices: np.ndarray, sorted_adjacency: bool) -> None:
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise GraphFormatError("indptr must be a 1-D array of length n+1 (n >= 0)")
+        if indptr[0] != 0:
+            raise GraphFormatError(f"indptr[0] must be 0, got {indptr[0]}")
+        if indptr[-1] != indices.size:
+            raise GraphFormatError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) ({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        n = indptr.size - 1
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= n:
+                raise GraphFormatError(
+                    f"indices must lie in [0, {n - 1}], got range "
+                    f"[{indices.min()}, {indices.max()}]"
+                )
+        if sorted_adjacency:
+            for v in range(n):
+                row = indices[indptr[v]:indptr[v + 1]]
+                if row.size > 1 and not np.all(row[1:] > row[:-1]):
+                    raise GraphFormatError(
+                        f"adjacency of vertex {v} is not strictly increasing "
+                        "but sorted_adjacency=True"
+                    )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of *undirected* edges (half the stored directed arcs)."""
+        return self.indices.size // 2
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored directed arcs (``2 * num_edges``)."""
+        return self.indices.size
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self._degrees[v])
+
+    def degrees(self) -> np.ndarray:
+        """Read-only array of all vertex degrees."""
+        return self._degrees
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of the adjacency slice of ``v``."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ (0 for the empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self._degrees.max(initial=0))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge membership test.
+
+        Binary search when adjacency is sorted, linear scan otherwise —
+        mirroring the paper's Opt/Unopt cost asymmetry.
+        """
+        row = self.neighbors(u)
+        if row.size == 0:
+            return False
+        if self.sorted_adjacency:
+            pos = int(np.searchsorted(row, v))
+            return pos < row.size and int(row[pos]) == v
+        return bool(np.any(row == v))
+
+    # ------------------------------------------------------------------
+    # Edge views
+    # ------------------------------------------------------------------
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array with ``u < v`` rows."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=self.indices.dtype), self._degrees)
+        mask = src < self.indices
+        return np.column_stack((src[mask], self.indices[mask]))
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield undirected edges as ``(u, v)`` tuples with ``u < v``."""
+        for u, v in self.edge_array():
+            yield int(u), int(v)
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """Set of undirected edges as ``(min, max)`` tuples."""
+        return {(int(u), int(v)) for u, v in self.edge_array()}
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def with_sorted_adjacency(self) -> "CSRGraph":
+        """Return an equivalent graph whose adjacency slices are sorted.
+
+        This is the preprocessing step of the paper's *optimized* variant;
+        the paper excludes its cost from reported run times, and the
+        experiment harness does the same.
+        """
+        if self.sorted_adjacency:
+            return self
+        indices = self.indices.copy()
+        for v in range(self.num_vertices):
+            lo, hi = self.indptr[v], self.indptr[v + 1]
+            indices[lo:hi] = np.sort(indices[lo:hi])
+        return CSRGraph(self.indptr, indices, sorted_adjacency=True, validate=False)
+
+    def shuffled(self, rng: np.random.Generator) -> "CSRGraph":
+        """Return an equivalent graph with randomly permuted adjacency slices.
+
+        Used to produce inputs for the *unoptimized* variant so that its
+        linear next-parent scans are exercised on genuinely unordered lists.
+        """
+        indices = self.indices.copy()
+        for v in range(self.num_vertices):
+            lo, hi = self.indptr[v], self.indptr[v + 1]
+            rng.shuffle(indices[lo:hi])
+        return CSRGraph(self.indptr, indices, sorted_adjacency=False, validate=False)
+
+    def validate_symmetry(self) -> None:
+        """Raise :class:`GraphFormatError` unless the arc set is symmetric
+        and free of self-loops and duplicates."""
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), self._degrees)
+        dst = self.indices.astype(np.int64)
+        if np.any(src == dst):
+            raise GraphFormatError("graph contains self-loops")
+        fwd = src * n + dst
+        rev = dst * n + src
+        fwd_sorted = np.sort(fwd)
+        if fwd_sorted.size and np.any(fwd_sorted[1:] == fwd_sorted[:-1]):
+            raise GraphFormatError("graph contains duplicate arcs")
+        if not np.array_equal(fwd_sorted, np.sort(rev)):
+            raise GraphFormatError("arc set is not symmetric")
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"sorted={self.sorted_adjacency})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same vertex count and same *edge set*.
+
+        Adjacency order is not part of graph identity (Opt/Unopt inputs of
+        the same graph compare equal).
+        """
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        if self.num_vertices != other.num_vertices:
+            return False
+        if self.num_edges != other.num_edges:
+            return False
+        return self.edge_set() == other.edge_set()
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hash is fine
+        return id(self)

@@ -1,0 +1,85 @@
+"""Graph generators.
+
+* :mod:`repro.graph.generators.rmat` — the paper's synthetic suite
+  (RMAT-ER, RMAT-G, RMAT-B presets from Section IV-B).
+* :mod:`repro.graph.generators.bio` — synthetic gene-correlation networks
+  standing in for the GEO datasets (GSE5140, GSE17072).
+* :mod:`repro.graph.generators.classic` / :mod:`.random` — deterministic and
+  random families used by tests, examples, and baselines.
+"""
+
+from repro.graph.generators.classic import (
+    path_graph,
+    cycle_graph,
+    complete_graph,
+    star_graph,
+    grid_graph,
+    binary_tree,
+    ladder_graph,
+    wheel_graph,
+    barbell_graph,
+    disjoint_cliques,
+)
+from repro.graph.generators.random import gnp_random_graph, gnm_random_graph, barabasi_albert
+from repro.graph.generators.rmat import (
+    RMATParams,
+    rmat_graph,
+    rmat_er,
+    rmat_g,
+    rmat_b,
+    RMAT_ER_PROBS,
+    RMAT_G_PROBS,
+    RMAT_B_PROBS,
+)
+from repro.graph.generators.chordal import (
+    ktree,
+    partial_ktree,
+    random_chordal,
+    interval_graph,
+)
+from repro.graph.generators.bio import (
+    correlation_network,
+    synthetic_expression,
+    bio_network,
+    BioNetworkParams,
+    GSE5140_CRT,
+    GSE5140_UNT,
+    GSE17072_CTL,
+    GSE17072_NON,
+)
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "binary_tree",
+    "ladder_graph",
+    "wheel_graph",
+    "barbell_graph",
+    "disjoint_cliques",
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "barabasi_albert",
+    "ktree",
+    "partial_ktree",
+    "random_chordal",
+    "interval_graph",
+    "RMATParams",
+    "rmat_graph",
+    "rmat_er",
+    "rmat_g",
+    "rmat_b",
+    "RMAT_ER_PROBS",
+    "RMAT_G_PROBS",
+    "RMAT_B_PROBS",
+    "correlation_network",
+    "synthetic_expression",
+    "bio_network",
+    "BioNetworkParams",
+    "GSE5140_CRT",
+    "GSE5140_UNT",
+    "GSE17072_CTL",
+    "GSE17072_NON",
+]

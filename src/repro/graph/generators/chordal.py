@@ -1,0 +1,135 @@
+"""Generators of graphs that are chordal *by construction*.
+
+These give the test suite ground truth that is independent of both the
+recognition machinery and the extraction algorithm:
+
+* :func:`ktree` / :func:`partial_ktree` — k-trees are the maximal graphs
+  of treewidth k and are chordal by construction; partial k-trees (random
+  edge subsets) are the standard bounded-treewidth workload.
+* :func:`random_chordal` — random chordal graph via a reversed elimination
+  construction: each vertex connects to a random clique-in-progress subset
+  of its predecessors, which makes the natural order a perfect elimination
+  ordering by construction.
+* :func:`interval_graph` — intersection graph of random intervals; interval
+  graphs are a classical chordal subclass (used by the ordering examples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["ktree", "partial_ktree", "random_chordal", "interval_graph"]
+
+
+def ktree(n: int, k: int, seed=None) -> CSRGraph:
+    """Random k-tree on ``n`` vertices (chordal, treewidth exactly k).
+
+    Construction: start from a (k+1)-clique; every further vertex picks a
+    uniformly random existing k-clique and connects to all of it.
+
+    Requires ``n >= k + 1``.
+    """
+    check_positive("k", k)
+    if n < k + 1:
+        raise ValueError(f"k-tree requires n >= k+1, got n={n}, k={k}")
+    rng = make_rng(seed)
+    edges: list[tuple[int, int]] = []
+    # Track the k-cliques available for attachment.
+    base = list(range(k + 1))
+    for i in range(k + 1):
+        for j in range(i + 1, k + 1):
+            edges.append((base[i], base[j]))
+    cliques: list[tuple[int, ...]] = [
+        tuple(c for idx, c in enumerate(base) if idx != drop) for drop in range(k + 1)
+    ]
+    for v in range(k + 1, n):
+        attach = cliques[int(rng.integers(len(cliques)))]
+        for u in attach:
+            edges.append((u, v))
+        # New attachable k-cliques: attach with any one member swapped for v
+        # (attach itself also stays attachable).
+        for drop in range(k):
+            cliques.append(
+                tuple(c for idx, c in enumerate(attach) if idx != drop) + (v,)
+            )
+    return from_edge_array(n, np.asarray(edges, dtype=np.int64))
+
+
+def partial_ktree(n: int, k: int, keep: float, seed=None) -> CSRGraph:
+    """Random partial k-tree: a k-tree with each edge kept with prob ``keep``.
+
+    Not necessarily chordal, but treewidth <= k — the standard
+    bounded-treewidth workload for ordering experiments.
+    """
+    check_in_range("keep", keep, 0.0, 1.0)
+    rng = make_rng(seed)
+    full = ktree(n, k, seed=rng)
+    edges = full.edge_array()
+    mask = rng.random(edges.shape[0]) < keep
+    return from_edge_array(n, edges[mask])
+
+
+def random_chordal(n: int, density: float = 0.3, seed=None) -> CSRGraph:
+    """Random chordal graph with the natural order as its PEO.
+
+    Vertex ``v`` (in increasing order) connects to a clique among its
+    predecessors: a random earlier vertex ``r`` plus a random subset of
+    ``r``'s earlier *chordal* neighborhood — which is a clique by
+    induction, so ``v``'s earlier neighborhood is a clique and the natural
+    order is a perfect elimination ordering (read backwards).
+
+    ``density`` controls how much of the eligible clique each vertex
+    adopts; 0 yields a forest-like graph, 1 yields near-k-trees.
+    """
+    check_in_range("density", density, 0.0, 1.0)
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = make_rng(seed)
+    nbrs: list[set[int]] = [set() for _ in range(n)]
+    edges: list[tuple[int, int]] = []
+    for v in range(1, n):
+        r = int(rng.integers(v))
+        # candidates: r plus r's neighbors below v form a clique ∪ {r}? —
+        # r's *earlier* closed neighborhood restricted to r's clique: take
+        # r's earlier neighbors, which form a clique with r by induction.
+        clique = sorted(u for u in nbrs[r] if u < r) + [r]
+        chosen = {r}
+        for u in clique[:-1]:
+            if rng.random() < density:
+                chosen.add(u)
+        for u in chosen:
+            edges.append((u, v))
+            nbrs[v].add(u)
+            nbrs[u].add(v)
+    arr = np.asarray(edges, dtype=np.int64) if edges else np.empty((0, 2), np.int64)
+    return from_edge_array(n, arr)
+
+
+def interval_graph(n: int, max_length: float = 0.3, seed=None) -> CSRGraph:
+    """Intersection graph of ``n`` random intervals in [0, 1].
+
+    Interval graphs are chordal (a classical subclass); interval lengths
+    are uniform in ``(0, max_length]``.
+    """
+    check_positive("max_length", max_length)
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    rng = make_rng(seed)
+    starts = rng.random(n)
+    lengths = rng.random(n) * max_length
+    ends = starts + lengths
+    order = np.argsort(starts)
+    edges: list[tuple[int, int]] = []
+    # sweep: compare each interval with successors until starts pass its end
+    for idx, i in enumerate(order):
+        for j in order[idx + 1:]:
+            if starts[j] > ends[i]:
+                break
+            edges.append((int(i), int(j)))
+    arr = np.asarray(edges, dtype=np.int64) if edges else np.empty((0, 2), np.int64)
+    return from_edge_array(n, arr)

@@ -1,0 +1,98 @@
+"""Random graph families for tests and property-based fuzzing.
+
+The paper's own random suite is R-MAT (see :mod:`.rmat`); these classical
+models give the test suite independent coverage with different degree
+profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+from repro.util.validation import check_in_range, check_nonnegative
+
+__all__ = ["gnp_random_graph", "gnm_random_graph", "barabasi_albert"]
+
+
+def gnp_random_graph(n: int, p: float, seed=None) -> CSRGraph:
+    """Erdős–Rényi G(n, p).
+
+    Vectorised: draws the upper-triangular adjacency as one Bernoulli block
+    for small ``n``; falls back to geometric skipping for large sparse
+    instances.
+    """
+    check_nonnegative("n", n)
+    check_in_range("p", p, 0.0, 1.0)
+    rng = make_rng(seed)
+    if n <= 1 or p == 0.0:
+        return from_edge_array(n, np.empty((0, 2), np.int64))
+    if n <= 2048:
+        mask = rng.random((n, n)) < p
+        uu, vv = np.nonzero(np.triu(mask, k=1))
+        return from_edge_array(n, np.column_stack((uu, vv)))
+    # Large-n path: skip-sampling over the implicit upper-triangular order.
+    total_pairs = n * (n - 1) // 2
+    expected = total_pairs * p
+    # Sample edge ranks via geometric gaps.
+    ranks = []
+    pos = -1
+    log1mp = np.log1p(-p)
+    while True:
+        gap = int(np.floor(np.log(rng.random()) / log1mp)) + 1
+        pos += gap
+        if pos >= total_pairs:
+            break
+        ranks.append(pos)
+        if len(ranks) > expected * 4 + 1000:  # safety against pathological draws
+            break
+    if not ranks:
+        return from_edge_array(n, np.empty((0, 2), np.int64))
+    r = np.asarray(ranks, dtype=np.float64)
+    # Invert rank -> (u, v) in the row-major upper-triangular enumeration.
+    u = (n - 2 - np.floor(np.sqrt(-8 * r + 4 * n * (n - 1) - 7) / 2.0 - 0.5)).astype(np.int64)
+    v = (r + u + 1 - n * (n - 1) / 2.0 + (n - u) * ((n - u) - 1) / 2.0).astype(np.int64)
+    return from_edge_array(n, np.column_stack((u, v)))
+
+
+def gnm_random_graph(n: int, m: int, seed=None) -> CSRGraph:
+    """Uniform random graph with exactly ``m`` distinct edges (if possible)."""
+    check_nonnegative("n", n)
+    check_nonnegative("m", m)
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds max possible edges {max_edges} for n={n}")
+    rng = make_rng(seed)
+    if m == 0:
+        return from_edge_array(n, np.empty((0, 2), np.int64))
+    ranks = rng.choice(max_edges, size=m, replace=False).astype(np.float64)
+    u = (n - 2 - np.floor(np.sqrt(-8 * ranks + 4 * n * (n - 1) - 7) / 2.0 - 0.5)).astype(np.int64)
+    v = (ranks + u + 1 - n * (n - 1) / 2.0 + (n - u) * ((n - u) - 1) / 2.0).astype(np.int64)
+    return from_edge_array(n, np.column_stack((u, v)))
+
+
+def barabasi_albert(n: int, m_attach: int, seed=None) -> CSRGraph:
+    """Barabási–Albert preferential attachment (power-law degrees).
+
+    Each arriving vertex attaches to ``m_attach`` existing vertices chosen
+    proportionally to degree.  Gives a scale-free profile comparable to
+    RMAT-B, with a different community structure.
+    """
+    if m_attach < 1:
+        raise ValueError(f"m_attach must be >= 1, got {m_attach}")
+    if n < m_attach + 1:
+        raise ValueError(f"n must be > m_attach, got n={n}, m_attach={m_attach}")
+    rng = make_rng(seed)
+    # Repeated-endpoints list implements degree-proportional sampling.
+    targets = list(range(m_attach))
+    repeated: list[int] = []
+    edges: list[tuple[int, int]] = []
+    for source in range(m_attach, n):
+        for t in set(targets):
+            edges.append((source, t))
+            repeated.extend((source, t))
+        k = min(m_attach, len(repeated))
+        targets = [repeated[rng.integers(len(repeated))] for _ in range(k)]
+    return from_edge_array(n, np.asarray(edges, dtype=np.int64))

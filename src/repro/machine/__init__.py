@@ -1,0 +1,38 @@
+"""Machine models: replaying work traces on modeled XMT / Opteron hardware.
+
+This package is the substitution (DESIGN.md §3) for the paper's two
+platforms, which cannot be timed from CPython (GIL + single-core host):
+the *algorithmic* quantities — per-iteration independent work items, their
+costs, queue sizes, iteration counts — are measured exactly by running the
+real algorithm instrumented; only the mapping from operations to seconds
+is modeled.
+
+* :class:`~repro.machine.xmt.CrayXMTModel` — slow clock, ~600-cycle
+  uniformly-hashed memory, latency hidden by massive multithreading
+  (100 streams/processor requested, as in the paper), expensive
+  full-machine synchronisation.
+* :class:`~repro.machine.opteron.OpteronModel` — fast clock, cache
+  hierarchy (works well until the working set spills L3), cheap barriers,
+  no latency tolerance beyond a few outstanding misses.
+
+All constants live in :mod:`repro.machine.calibration` and are fitted to
+reproduce the paper's *shapes* (who wins where, saturation points), not
+absolute numbers — see EXPERIMENTS.md.
+"""
+
+from repro.machine.model import MachineModel, SimulationResult, speedup_curve
+from repro.machine.xmt import CrayXMTModel
+from repro.machine.opteron import OpteronModel
+from repro.machine.calibration import XMT_DEFAULT, OPTERON_DEFAULT, default_xmt, default_opteron
+
+__all__ = [
+    "MachineModel",
+    "SimulationResult",
+    "speedup_curve",
+    "CrayXMTModel",
+    "OpteronModel",
+    "XMT_DEFAULT",
+    "OPTERON_DEFAULT",
+    "default_xmt",
+    "default_opteron",
+]

@@ -1,0 +1,94 @@
+"""Abstract machine model and simulation driver.
+
+A model consumes a :class:`~repro.core.instrument.WorkTrace` — the list of
+iterations, each carrying independent work items, per-category op totals
+and the dependent-service critical path — and produces wall-clock
+estimates for a given processor count:
+
+``total = sum_iter( busy(iteration, P) + sync(P) )``
+
+``busy`` is platform-specific:
+
+* the XMT treats the iteration's work as fully divisible across
+  ``P x streams`` hardware threads (fine-grained loop parallelism), but
+  can never beat the latency-exposed critical path of dependent services;
+* the Opteron schedules work items (LPT) onto cores, pays cache-dependent
+  per-op costs, and loses a serial fraction to queue management.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.instrument import IterationTrace, WorkTrace
+from repro.errors import MachineModelError
+
+__all__ = ["MachineModel", "SimulationResult", "speedup_curve"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of replaying one trace at one processor count."""
+
+    model: str
+    processors: int
+    total_seconds: float
+    iteration_seconds: list[float] = field(default_factory=list)
+    sync_seconds: float = 0.0
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.total_seconds - self.sync_seconds
+
+
+class MachineModel(ABC):
+    """Base class for hardware timing models."""
+
+    #: display name used in experiment tables
+    name: str = "abstract"
+    #: maximum processor count of the modeled installation
+    max_processors: int = 1
+
+    @abstractmethod
+    def busy_seconds(self, it: IterationTrace, processors: int, trace: WorkTrace) -> float:
+        """Wall time to retire one iteration's work on ``processors``."""
+
+    @abstractmethod
+    def sync_seconds(self, processors: int) -> float:
+        """Per-iteration synchronisation overhead (barrier + loop startup)."""
+
+    # ------------------------------------------------------------------
+    def simulate(self, trace: WorkTrace, processors: int) -> SimulationResult:
+        """Replay all iterations of ``trace`` at the given processor count."""
+        if processors < 1:
+            raise MachineModelError(f"processors must be >= 1, got {processors}")
+        if processors > self.max_processors:
+            raise MachineModelError(
+                f"{self.name} has {self.max_processors} processors, requested {processors}"
+            )
+        per_iter: list[float] = []
+        sync_total = 0.0
+        for it in trace.iterations:
+            sync = self.sync_seconds(processors)
+            per_iter.append(self.busy_seconds(it, processors, trace) + sync)
+            sync_total += sync
+        return SimulationResult(
+            model=self.name,
+            processors=processors,
+            total_seconds=float(sum(per_iter)),
+            iteration_seconds=per_iter,
+            sync_seconds=sync_total,
+        )
+
+
+def speedup_curve(
+    model: MachineModel, trace: WorkTrace, processor_counts: list[int]
+) -> dict[int, float]:
+    """``{P: T(1)/T(P)}`` over the requested processor counts."""
+    base = model.simulate(trace, 1).total_seconds
+    out: dict[int, float] = {}
+    for p in processor_counts:
+        t = model.simulate(trace, p).total_seconds
+        out[p] = base / t if t > 0 else float("inf")
+    return out

@@ -1,0 +1,29 @@
+"""Thread runtime: persistent worker team, partitioners, atomic helpers.
+
+This is the shared-memory substrate the threaded engine runs on.  On
+CPython the GIL serialises bytecode, so these primitives demonstrate and
+test the *structure* of the parallel algorithm (barriers, unique-writer
+discipline, per-thread accumulation) rather than deliver wall-clock
+speedup — the speedup experiments run on the machine models instead
+(DESIGN.md §3, substitution 1).
+"""
+
+from repro.parallel.runtime import ThreadTeam, parallel_for
+from repro.parallel.partition import (
+    block_ranges,
+    balanced_chunks,
+    cyclic_indices,
+    lpt_assign,
+)
+from repro.parallel.atomics import AtomicCounter, AtomicMax
+
+__all__ = [
+    "ThreadTeam",
+    "parallel_for",
+    "block_ranges",
+    "balanced_chunks",
+    "cyclic_indices",
+    "lpt_assign",
+    "AtomicCounter",
+    "AtomicMax",
+]

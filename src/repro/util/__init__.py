@@ -1,0 +1,33 @@
+"""Shared utilities: RNG seeding, timing, validation, sorted-array kernels."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.timing import Timer, format_seconds
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_probability_vector,
+)
+from repro.util.sorting import (
+    is_sorted,
+    is_strictly_sorted,
+    sorted_subset,
+    sorted_intersect_size,
+    merge_unique,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "Timer",
+    "format_seconds",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_probability_vector",
+    "is_sorted",
+    "is_strictly_sorted",
+    "sorted_subset",
+    "sorted_intersect_size",
+    "merge_unique",
+]

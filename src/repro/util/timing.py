@@ -1,0 +1,50 @@
+"""Minimal wall-clock timing helpers used by examples and the harness.
+
+The *measured* numbers in the experiment harness come from either direct
+``perf_counter`` spans (small graphs) or the machine models; this module
+only supplies the plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer", "format_seconds"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a unit that keeps 3 significant digits readable."""
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds / 60.0:.2f} min"

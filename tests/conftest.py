@@ -1,0 +1,82 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import build_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.generators.classic import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators.random import gnp_random_graph
+from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to networkx.Graph (nodes 0..n-1 always present)."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_vertices))
+    G.add_edges_from(map(tuple, graph.edge_array()))
+    return G
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return build_graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def square() -> CSRGraph:
+    """4-cycle — the smallest non-chordal graph."""
+    return cycle_graph(4)
+
+
+@pytest.fixture
+def empty_graph() -> CSRGraph:
+    return build_graph(0, [])
+
+
+@pytest.fixture
+def singleton() -> CSRGraph:
+    return build_graph(1, [])
+
+
+@pytest.fixture
+def isolated_vertices() -> CSRGraph:
+    return build_graph(5, [])
+
+
+@pytest.fixture(
+    params=["path", "cycle5", "k5", "grid33", "star", "barbell", "gnp", "rmat_er", "rmat_g", "rmat_b"]
+)
+def zoo_graph(request) -> CSRGraph:
+    """A diverse zoo of small graphs for cross-cutting invariants."""
+    return {
+        "path": lambda: path_graph(8),
+        "cycle5": lambda: cycle_graph(5),
+        "k5": lambda: complete_graph(5),
+        "grid33": lambda: grid_graph(3, 3),
+        "star": lambda: star_graph(6),
+        "barbell": lambda: barbell_graph(4, 2),
+        "gnp": lambda: gnp_random_graph(40, 0.15, seed=7),
+        "rmat_er": lambda: rmat_er(7, seed=1),
+        "rmat_g": lambda: rmat_g(7, seed=2),
+        "rmat_b": lambda: rmat_b(7, seed=3),
+    }[request.param]()
+
+
+def random_graph_from_data(n: int, edge_bits: list[bool]) -> CSRGraph:
+    """Deterministic graph from a hypothesis-drawn boolean mask over the
+    upper-triangular pair enumeration."""
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = [p for p, keep in zip(pairs, edge_bits) if keep]
+    return build_graph(n, edges)

@@ -1,0 +1,153 @@
+"""Tests for the analysis package (Table I / Fig 2 / Fig 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.assortativity import degree_assortativity
+from repro.analysis.clustering import (
+    average_clustering,
+    clustering_by_degree,
+    local_clustering,
+)
+from repro.analysis.degrees import degree_stats
+from repro.analysis.paths import shortest_path_histogram
+from repro.analysis.summary import summarize_graph
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators.rmat import rmat_er
+from tests.conftest import to_networkx
+
+
+class TestDegreeStats:
+    def test_cycle(self):
+        s = degree_stats(cycle_graph(6))
+        assert s.avg_degree == 2.0
+        assert s.max_degree == 2
+        assert s.variance == 0.0
+        assert s.edges_per_vertex == 1.0
+
+    def test_star(self):
+        s = degree_stats(star_graph(5))
+        assert s.max_degree == 5
+        assert s.avg_degree == pytest.approx(10 / 6)
+
+    def test_empty(self):
+        s = degree_stats(build_graph(0, []))
+        assert s.num_vertices == 0 and s.max_degree == 0
+
+    def test_row_uses_paper_convention(self):
+        # paper's "Avg Degree" column is edges/vertices
+        s = degree_stats(cycle_graph(6))
+        row = s.row()
+        assert row[2] == 1  # m/n = 1 for a cycle
+
+
+class TestClustering:
+    def test_triangle_all_ones(self):
+        assert list(local_clustering(complete_graph(3))) == [1.0, 1.0, 1.0]
+
+    def test_path_all_zero(self):
+        assert average_clustering(path_graph(5)) == 0.0
+
+    def test_degree_below_two_zero(self):
+        g = star_graph(3)
+        cc = local_clustering(g)
+        assert cc[1] == cc[2] == cc[3] == 0.0
+        assert cc[0] == 0.0  # hub's neighbors are pairwise non-adjacent
+
+    def test_matches_networkx(self, zoo_graph):
+        import networkx as nx
+
+        ours = local_clustering(zoo_graph)
+        theirs = nx.clustering(to_networkx(zoo_graph))
+        for v in range(zoo_graph.num_vertices):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-12)
+
+    def test_unsorted_input(self):
+        g = complete_graph(4).shuffled(np.random.default_rng(0))
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_by_degree_profile(self):
+        g = complete_graph(4)
+        profile = clustering_by_degree(g)
+        assert profile == [(3, 1.0, 4)]
+
+    def test_empty(self):
+        assert average_clustering(build_graph(0, [])) == 0.0
+        assert clustering_by_degree(build_graph(0, [])) == []
+
+
+class TestPathHistogram:
+    def test_path_graph_exact(self):
+        # path 0-1-2: ordered pairs at distance 1: 4, distance 2: 2
+        hist = shortest_path_histogram(path_graph(3))
+        assert list(hist) == [0, 4, 2]
+
+    def test_matches_networkx_exact(self, zoo_graph):
+        import networkx as nx
+
+        hist = shortest_path_histogram(zoo_graph)
+        G = to_networkx(zoo_graph)
+        expected: dict[int, int] = {}
+        for _src, dists in nx.all_pairs_shortest_path_length(G):
+            for _dst, d in dists.items():
+                if d >= 1:
+                    expected[d] = expected.get(d, 0) + 1
+        got = {i: int(f) for i, f in enumerate(hist) if i >= 1 and f}
+        assert got == expected
+
+    def test_sampling_approximates(self):
+        g = rmat_er(9, seed=2)
+        full = shortest_path_histogram(g)
+        sampled = shortest_path_histogram(g, sample=128, seed=0)
+        # same support shape, total mass within 25%
+        assert abs(sampled.sum() - full.sum()) / full.sum() < 0.25
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            shortest_path_histogram(path_graph(3), sample=0)
+
+    def test_empty(self):
+        hist = shortest_path_histogram(build_graph(0, []))
+        assert hist.sum() == 0
+
+
+class TestAssortativity:
+    def test_star_disassortative(self):
+        assert degree_assortativity(star_graph(5)) < 0
+
+    def test_regular_graph_degenerate(self):
+        assert degree_assortativity(cycle_graph(6)) == 0.0
+
+    def test_no_edges(self):
+        assert degree_assortativity(build_graph(3, [])) == 0.0
+
+    def test_matches_networkx(self, zoo_graph):
+        import networkx as nx
+
+        ours = degree_assortativity(zoo_graph)
+        G = to_networkx(zoo_graph)
+        if zoo_graph.num_edges == 0:
+            return
+        theirs = nx.degree_assortativity_coefficient(G)
+        if np.isnan(theirs):
+            assert ours == 0.0
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-8)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        s = summarize_graph("C6", cycle_graph(6))
+        assert s.name == "C6"
+        assert s.num_components == 1
+        assert s.table1_row()[0] == "C6"
+
+    def test_components_skippable(self):
+        s = summarize_graph("x", cycle_graph(6), components=False)
+        assert s.num_components == -1

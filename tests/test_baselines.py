@@ -1,0 +1,161 @@
+"""Tests for the Dearing, distributed, spanning-forest baselines and msgpass."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dearing import dearing_max_chordal
+from repro.baselines.distributed import distributed_nearly_chordal
+from repro.baselines.msgpass import Network
+from repro.baselines.spanning import spanning_forest_edges
+from repro.chordality.maximality import assert_valid_extraction, is_maximal_chordal_subgraph
+from repro.chordality.recognition import is_chordal
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.graph.bfs import connected_components
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import complete_graph, cycle_graph, grid_graph, path_graph
+from repro.graph.generators.rmat import rmat_g
+from repro.graph.ops import edge_subgraph
+
+
+class TestDearing:
+    def test_certified_maximal_on_zoo(self, zoo_graph):
+        edges = dearing_max_chordal(zoo_graph)
+        sub = edge_subgraph(zoo_graph, edges)
+        assert_valid_extraction(zoo_graph, sub)
+
+    def test_clique_keeps_all(self):
+        assert dearing_max_chordal(complete_graph(6)).shape[0] == 15
+
+    def test_cycle_drops_one(self):
+        assert dearing_max_chordal(cycle_graph(8)).shape[0] == 7
+
+    def test_empty(self):
+        assert dearing_max_chordal(build_graph(0, [])).shape == (0, 2)
+
+    def test_edgeless(self):
+        assert dearing_max_chordal(build_graph(4, [])).shape == (0, 2)
+
+    def test_start_vertex_honored(self):
+        g = path_graph(5)
+        edges = dearing_max_chordal(g, start=2)
+        assert edges.shape[0] == 4  # path fully chordal regardless of start
+
+    def test_start_out_of_range(self):
+        with pytest.raises(ValueError):
+            dearing_max_chordal(path_graph(3), start=9)
+
+    def test_deterministic(self):
+        g = rmat_g(8, seed=5)
+        assert np.array_equal(dearing_max_chordal(g), dearing_max_chordal(g))
+
+    def test_typically_beats_alg1_edge_count(self):
+        """Max-label selection tends to keep more edges than fixed-id
+        Algorithm 1 (cf. maximality_gap experiment)."""
+        g = rmat_g(9, seed=5)
+        dearing = dearing_max_chordal(g).shape[0]
+        alg1 = extract_maximal_chordal_subgraph(g).num_chordal_edges
+        assert dearing >= alg1
+
+
+class TestDistributed:
+    def test_single_part_is_dearing(self):
+        g = rmat_g(8, seed=7)
+        d = distributed_nearly_chordal(g, 1)
+        assert d.border_edges == 0
+        assert d.chordal
+        assert is_maximal_chordal_subgraph(g, edge_subgraph(g, d.edges))
+
+    def test_triangle_rule_breaks_chordality(self):
+        """The paper's motivation: border edges admit long cycles."""
+        g = rmat_g(10, seed=11)
+        d = distributed_nearly_chordal(g, 4)
+        assert d.border_edges > 0
+        assert d.accepted_border_edges > 0
+        assert not d.chordal
+
+    def test_repair_mode_stays_chordal(self):
+        g = rmat_g(9, seed=11)
+        d = distributed_nearly_chordal(g, 4, repair=True)
+        assert d.chordal
+        assert is_chordal(edge_subgraph(g, d.edges))
+
+    def test_border_grows_with_parts(self):
+        g = rmat_g(9, seed=3)
+        borders = [distributed_nearly_chordal(g, p).border_edges for p in (2, 4, 8)]
+        assert borders[0] < borders[-1]
+
+    def test_random_partition(self):
+        g = rmat_g(8, seed=3)
+        d = distributed_nearly_chordal(g, 4, strategy="random", seed=1)
+        assert d.border_edges > 0
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            distributed_nearly_chordal(path_graph(4), 2, strategy="metis")
+
+    def test_bad_parts(self):
+        with pytest.raises(ValueError):
+            distributed_nearly_chordal(path_graph(4), 0)
+
+    def test_message_accounting(self):
+        g = rmat_g(8, seed=3)
+        d = distributed_nearly_chordal(g, 4)
+        assert d.stats.messages >= d.border_edges
+        assert d.stats.by_tag.get("border", 0) == d.border_edges
+
+
+class TestSpanningForest:
+    def test_tree_count(self, zoo_graph):
+        edges = spanning_forest_edges(zoo_graph)
+        ncomp, _ = connected_components(zoo_graph)
+        assert edges.shape[0] == zoo_graph.num_vertices - ncomp
+
+    def test_forest_is_chordal_and_spanning(self, zoo_graph):
+        edges = spanning_forest_edges(zoo_graph)
+        sub = edge_subgraph(zoo_graph, edges)
+        assert is_chordal(sub)
+        assert connected_components(sub)[0] == connected_components(zoo_graph)[0]
+
+    def test_empty(self):
+        assert spanning_forest_edges(build_graph(0, [])).shape == (0, 2)
+
+    def test_fewer_edges_than_alg1(self):
+        g = rmat_g(9, seed=5)
+        forest = spanning_forest_edges(g).shape[0]
+        alg1 = extract_maximal_chordal_subgraph(g).num_chordal_edges
+        assert forest < alg1
+
+
+class TestNetwork:
+    def test_exchange_required_for_delivery(self):
+        net = Network(2)
+        net.send(1, "tag", [1, 2, 3])
+        assert net.recv_all(1, "tag") == []  # not delivered before barrier
+        net.exchange()
+        assert net.recv_all(1, "tag") == [[1, 2, 3]]
+
+    def test_delivery_and_drain(self):
+        net = Network(3)
+        net.send(2, "x", [10])
+        net.send(2, "x", [20, 30])
+        net.exchange()
+        msgs = net.recv_all(2, "x")
+        assert msgs == [[10], [20, 30]]
+        assert net.recv_all(2, "x") == []
+
+    def test_stats(self):
+        net = Network(2)
+        net.send(0, "a", [1, 2])
+        net.send(1, "b", [3])
+        assert net.stats.messages == 2
+        assert net.stats.items == 3
+        assert net.stats.by_tag == {"a": 1, "b": 1}
+
+    def test_rank_validation(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(5, "t", [])
+        with pytest.raises(ValueError):
+            net.recv_all(-1, "t")
+        with pytest.raises(ValueError):
+            Network(0)

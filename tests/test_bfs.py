@@ -1,0 +1,118 @@
+"""Tests for BFS kernels, components, and BFS renumbering."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bfs import bfs_levels, bfs_order, bfs_renumber, connected_components
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    disjoint_cliques,
+    grid_graph,
+    path_graph,
+)
+from tests.conftest import to_networkx
+
+
+class TestBfsLevels:
+    def test_path_distances(self):
+        levels = bfs_levels(path_graph(5), 0)
+        assert list(levels) == [0, 1, 2, 3, 4]
+
+    def test_cycle_distances(self):
+        levels = bfs_levels(cycle_graph(6), 0)
+        assert list(levels) == [0, 1, 2, 3, 2, 1]
+
+    def test_unreachable_marked(self):
+        g = build_graph(4, [(0, 1)])
+        levels = bfs_levels(g, 0)
+        assert list(levels) == [0, 1, -1, -1]
+
+    def test_source_out_of_range(self):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph(3), 5)
+
+    def test_matches_networkx(self, zoo_graph):
+        import networkx as nx
+
+        G = to_networkx(zoo_graph)
+        ours = bfs_levels(zoo_graph, 0)
+        theirs = nx.single_source_shortest_path_length(G, 0)
+        for v in range(zoo_graph.num_vertices):
+            assert ours[v] == theirs.get(v, -1)
+
+
+class TestBfsOrder:
+    def test_starts_at_source(self):
+        order = bfs_order(grid_graph(3, 3), 4)
+        assert order[0] == 4
+
+    def test_levels_nondecreasing(self):
+        g = grid_graph(4, 4)
+        order = bfs_order(g, 0)
+        levels = bfs_levels(g, 0)
+        seq = levels[order]
+        assert bool(np.all(np.diff(seq) >= 0))
+
+    def test_only_reachable(self):
+        g = build_graph(5, [(0, 1), (2, 3)])
+        assert set(bfs_order(g, 0).tolist()) == {0, 1}
+
+
+class TestComponents:
+    def test_connected(self):
+        ncomp, labels = connected_components(cycle_graph(5))
+        assert ncomp == 1
+        assert set(labels) == {0}
+
+    def test_disjoint_cliques(self):
+        ncomp, labels = connected_components(disjoint_cliques(3, 4))
+        assert ncomp == 3
+        assert len(set(labels.tolist())) == 3
+
+    def test_isolated_vertices(self):
+        ncomp, _ = connected_components(build_graph(4, []))
+        assert ncomp == 4
+
+    def test_labels_numbered_by_smallest_vertex(self):
+        g = build_graph(6, [(4, 5), (0, 1)])
+        _, labels = connected_components(g)
+        assert labels[0] == 0 and labels[4] > 0
+
+    def test_matches_networkx(self, zoo_graph):
+        import networkx as nx
+
+        ncomp, _ = connected_components(zoo_graph)
+        assert ncomp == nx.number_connected_components(to_networkx(zoo_graph))
+
+
+class TestBfsRenumber:
+    def test_permutation_valid(self, zoo_graph):
+        _, new_of_old = bfs_renumber(zoo_graph)
+        assert sorted(new_of_old.tolist()) == list(range(zoo_graph.num_vertices))
+
+    def test_structure_preserved(self, zoo_graph):
+        out, _ = bfs_renumber(zoo_graph)
+        assert out.num_edges == zoo_graph.num_edges
+        assert sorted(out.degrees().tolist()) == sorted(zoo_graph.degrees().tolist())
+
+    def test_source_becomes_zero(self):
+        g = cycle_graph(5)
+        _, new_of_old = bfs_renumber(g, source=3)
+        assert new_of_old[3] == 0
+
+    def test_component_contiguity(self):
+        g = disjoint_cliques(2, 3)
+        out, new_of_old = bfs_renumber(g)
+        # each original clique maps to a contiguous id range
+        first = sorted(new_of_old[:3].tolist())
+        second = sorted(new_of_old[3:].tolist())
+        assert first == [0, 1, 2] and second == [3, 4, 5]
+
+    def test_empty_graph(self):
+        from repro.graph.builder import build_graph
+
+        g = build_graph(0, [])
+        out, perm = bfs_renumber(g) if g.num_vertices else (g, np.empty(0))
+        assert out.num_vertices == 0

@@ -1,0 +1,110 @@
+"""Tests for graph construction and sanitisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import (
+    build_graph,
+    from_adjacency_dict,
+    from_edge_array,
+    from_networkx,
+)
+
+
+class TestSanitisation:
+    def test_self_loops_dropped(self):
+        g = build_graph(3, [(0, 0), (0, 1), (2, 2)])
+        assert g.edge_set() == {(0, 1)}
+
+    def test_duplicates_collapsed(self):
+        g = build_graph(3, [(0, 1), (0, 1), (1, 0)])
+        assert g.num_edges == 1
+
+    def test_reversed_duplicates_collapsed(self):
+        g = build_graph(4, [(2, 1), (1, 2), (3, 0), (0, 3)])
+        assert g.edge_set() == {(1, 2), (0, 3)}
+
+    def test_empty_edges(self):
+        g = from_edge_array(5, np.empty((0, 2), np.int64))
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(GraphFormatError, match="out of range"):
+            build_graph(3, [(0, 5)])
+
+    def test_out_of_range_dropped_when_allowed(self):
+        g = from_edge_array(3, np.array([[0, 5], [0, 1]]), allow_out_of_range=True)
+        assert g.edge_set() == {(0, 1)}
+
+    def test_negative_vertex_count_raises(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(-1, np.empty((0, 2), np.int64))
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(GraphFormatError, match="shape"):
+            from_edge_array(3, np.array([[0, 1, 2]]))
+
+    def test_adjacency_always_sorted(self):
+        g = build_graph(5, [(4, 0), (4, 2), (4, 1), (4, 3)])
+        assert list(g.neighbors(4)) == [0, 1, 2, 3]
+
+    def test_symmetry(self):
+        g = build_graph(6, [(0, 3), (5, 1), (2, 4)])
+        g.validate_symmetry()
+
+    def test_small_graph_uses_int32(self):
+        g = build_graph(10, [(0, 1)])
+        assert g.indices.dtype == np.int32
+
+
+class TestAdjacencyDict:
+    def test_basic(self):
+        g = from_adjacency_dict({0: [1, 2], 1: [2]})
+        assert g.edge_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_asymmetric_input_symmetrised(self):
+        g = from_adjacency_dict({0: [1]})
+        assert g.has_edge(1, 0)
+
+    def test_isolated_trailing_vertex(self):
+        g = from_adjacency_dict({0: [1], 3: []})
+        assert g.num_vertices == 4
+        assert g.degree(3) == 0
+
+    def test_empty(self):
+        g = from_adjacency_dict({})
+        assert g.num_vertices == 0
+
+
+class TestNetworkxConversion:
+    def test_roundtrip(self):
+        import networkx as nx
+
+        G = nx.Graph([(0, 1), (1, 2), (2, 0), (2, 3)])
+        g = from_networkx(G)
+        assert g.edge_set() == {(0, 1), (0, 2), (1, 2), (2, 3)}
+
+    def test_bad_labels_rejected(self):
+        import networkx as nx
+
+        G = nx.Graph([(1, 5)])
+        with pytest.raises(GraphFormatError):
+            from_networkx(G)
+
+
+@given(
+    n=st.integers(1, 12),
+    edges=st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=60),
+)
+def test_builder_is_idempotent_and_simple(n, edges):
+    """Property: output has no loops/dups and rebuilding is a fixed point."""
+    edges = [(u % n, v % n) for u, v in edges]
+    g = build_graph(n, edges)
+    expected = {(min(u, v), max(u, v)) for u, v in edges if u != v}
+    assert g.edge_set() == expected
+    rebuilt = build_graph(n, list(g.iter_edges()))
+    assert rebuilt == g

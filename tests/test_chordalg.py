@@ -1,0 +1,227 @@
+"""Tests for the chordal-graph application algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordalg.cliques import max_clique, maximal_cliques
+from repro.chordalg.cliquetree import clique_tree
+from repro.chordalg.coloring import chordal_coloring, greedy_coloring, verify_coloring
+from repro.chordalg.elimination import elimination_fill_edges, fill_in
+from repro.chordalg.independent_set import max_independent_set
+from repro.chordality.mcs import mcs_peo
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.errors import NotChordalError
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    disjoint_cliques,
+    path_graph,
+    star_graph,
+)
+from tests.conftest import random_graph_from_data, to_networkx
+
+
+def random_chordal(data, max_n=9):
+    n = data.draw(st.integers(2, max_n))
+    bits = data.draw(
+        st.lists(st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    g = random_graph_from_data(n, bits)
+    return extract_maximal_chordal_subgraph(g).subgraph
+
+
+class TestMaxClique:
+    def test_complete(self):
+        assert max_clique(complete_graph(5)) == [0, 1, 2, 3, 4]
+
+    def test_path(self):
+        assert len(max_clique(path_graph(5))) == 2
+
+    def test_empty(self):
+        assert max_clique(build_graph(0, [])) == []
+
+    def test_edgeless(self):
+        assert len(max_clique(build_graph(3, []))) == 1
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            max_clique(cycle_graph(5))
+
+    def test_result_is_clique(self):
+        g = disjoint_cliques(2, 4)
+        clique = max_clique(g)
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                assert g.has_edge(u, v)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_matches_networkx(self, data):
+        import networkx as nx
+
+        sub = random_chordal(data)
+        best = max((len(c) for c in nx.find_cliques(to_networkx(sub))), default=0)
+        assert len(max_clique(sub)) == best
+
+
+class TestMaximalCliques:
+    def test_complete(self):
+        assert maximal_cliques(complete_graph(4)) == [[0, 1, 2, 3]]
+
+    def test_path_edges(self):
+        assert sorted(maximal_cliques(path_graph(3))) == [[0, 1], [1, 2]]
+
+    def test_star(self):
+        cliques = sorted(maximal_cliques(star_graph(3)))
+        assert cliques == [[0, 1], [0, 2], [0, 3]]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_matches_networkx(self, data):
+        import networkx as nx
+
+        sub = random_chordal(data)
+        ours = {tuple(c) for c in maximal_cliques(sub)}
+        theirs = {tuple(sorted(c)) for c in nx.find_cliques(to_networkx(sub))}
+        assert ours == theirs
+
+
+class TestColoring:
+    def test_optimal_on_clique(self):
+        colors, k = chordal_coloring(complete_graph(5))
+        assert k == 5
+        assert verify_coloring(complete_graph(5), colors)
+
+    def test_two_colors_on_tree(self):
+        g = binary_tree(3)
+        colors, k = chordal_coloring(g)
+        assert k == 2
+        assert verify_coloring(g, colors)
+
+    def test_chromatic_equals_clique_number(self, zoo_graph):
+        sub = extract_maximal_chordal_subgraph(zoo_graph).subgraph
+        _, k = chordal_coloring(sub)
+        assert k == max(len(max_clique(sub)), 0) or sub.num_vertices == 0
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            chordal_coloring(cycle_graph(5))
+
+    def test_empty(self):
+        colors, k = chordal_coloring(build_graph(0, []))
+        assert k == 0 and colors.size == 0
+
+    def test_greedy_any_order_valid(self):
+        g = cycle_graph(6)
+        colors = greedy_coloring(g, np.arange(6))
+        assert verify_coloring(g, colors)
+
+    def test_greedy_bad_order(self):
+        with pytest.raises(ValueError):
+            greedy_coloring(path_graph(3), np.array([0, 1]))
+
+    def test_verify_rejects_conflicts(self):
+        g = path_graph(3)
+        assert not verify_coloring(g, np.array([0, 0, 1]))
+        assert not verify_coloring(g, np.array([0, 1]))
+
+
+class TestIndependentSet:
+    def test_clique_gives_one(self):
+        assert len(max_independent_set(complete_graph(6))) == 1
+
+    def test_path_alternation(self):
+        assert len(max_independent_set(path_graph(5))) == 3
+
+    def test_star_leaves(self):
+        mis = max_independent_set(star_graph(4))
+        assert mis == [1, 2, 3, 4]
+
+    def test_result_is_independent(self, zoo_graph):
+        sub = extract_maximal_chordal_subgraph(zoo_graph).subgraph
+        mis = max_independent_set(sub)
+        for i, u in enumerate(mis):
+            for v in mis[i + 1:]:
+                assert not sub.has_edge(u, v)
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            max_independent_set(cycle_graph(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_maximum_vs_bruteforce(self, data):
+        import networkx as nx
+
+        sub = random_chordal(data, max_n=8)
+        best = max(
+            (len(c) for c in nx.find_cliques(nx.complement(to_networkx(sub)))),
+            default=0,
+        )
+        assert len(max_independent_set(sub)) == best
+
+
+class TestCliqueTree:
+    def test_tree_size(self):
+        g = path_graph(4)
+        cliques, edges = clique_tree(g)
+        assert len(cliques) == 3
+        assert len(edges) == 2
+
+    def test_single_clique(self):
+        cliques, edges = clique_tree(complete_graph(4))
+        assert len(cliques) == 1 and edges == []
+
+    def test_junction_property(self, zoo_graph):
+        """Cliques containing any vertex form a connected subtree."""
+        import networkx as nx
+
+        sub = extract_maximal_chordal_subgraph(zoo_graph).subgraph
+        cliques, edges = clique_tree(sub)
+        T = nx.Graph()
+        T.add_nodes_from(range(len(cliques)))
+        T.add_edges_from(edges)
+        for v in range(sub.num_vertices):
+            containing = [i for i, c in enumerate(cliques) if v in c]
+            if len(containing) > 1:
+                assert nx.is_connected(T.subgraph(containing)), (v, containing)
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            clique_tree(cycle_graph(4))
+
+
+class TestElimination:
+    def test_peo_zero_fill(self, zoo_graph):
+        sub = extract_maximal_chordal_subgraph(zoo_graph).subgraph
+        assert fill_in(sub, mcs_peo(sub)) == 0
+
+    def test_cycle_natural_order_fills(self):
+        g = cycle_graph(5)
+        assert fill_in(g, np.arange(5)) > 0
+
+    def test_fill_edges_are_new(self):
+        g = cycle_graph(6)
+        fill = elimination_fill_edges(g, np.arange(6))
+        for u, v in fill:
+            assert not g.has_edge(u, v)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            fill_in(path_graph(3), np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            fill_in(path_graph(3), np.array([0, 1]))
+
+    def test_fill_plus_graph_chordal(self):
+        """Eliminating along any order triangulates the graph."""
+        from repro.chordality.recognition import is_chordal
+        from repro.graph.ops import union_edges
+
+        g = cycle_graph(7)
+        fill = elimination_fill_edges(g, np.arange(7))
+        filled = union_edges(g, build_graph(7, fill))
+        assert is_chordal(filled)

@@ -1,0 +1,121 @@
+"""Tests for the addability criterion and the maximality checker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordality.maximality import (
+    addable_edges,
+    addable_edges_slow,
+    assert_valid_extraction,
+    edge_addable,
+    is_maximal_chordal_subgraph,
+)
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import complete_graph, cycle_graph, path_graph
+from tests.conftest import random_graph_from_data
+
+
+def _adj_sets(graph):
+    return [set(int(x) for x in graph.neighbors(v)) for v in range(graph.num_vertices)]
+
+
+class TestEdgeAddable:
+    def test_disconnected_pair_addable(self):
+        g = build_graph(4, [(0, 1), (2, 3)])
+        assert edge_addable(_adj_sets(g), 1, 2)
+
+    def test_triangle_completion_addable(self):
+        g = build_graph(3, [(0, 1), (1, 2)])
+        assert edge_addable(_adj_sets(g), 0, 2)
+
+    def test_closing_long_cycle_not_addable(self):
+        g = path_graph(4)  # 0-1-2-3
+        assert not edge_addable(_adj_sets(g), 0, 3)
+
+    def test_existing_edge_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            edge_addable(_adj_sets(g), 0, 1)
+
+    def test_common_neighbor_blocks_only_short_paths(self):
+        # 0-1-2 plus 0-3-4-2: common nbr of (0,2) is 1, but the long path
+        # 0-3-4-2 survives its removal -> not addable
+        g = build_graph(5, [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2)])
+        assert not edge_addable(_adj_sets(g), 0, 2)
+
+
+class TestAddableEdges:
+    def test_maximal_has_none(self):
+        g = complete_graph(5)
+        sub = g  # a clique is its own maximal chordal subgraph
+        assert addable_edges(g, sub) == []
+
+    def test_path_in_cycle_has_none(self):
+        g = cycle_graph(5)
+        sub = build_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert addable_edges(g, sub) == []
+
+    def test_detects_addable(self):
+        g = complete_graph(4)
+        sub = build_graph(4, [(0, 1), (1, 2), (2, 3)])
+        found = addable_edges(g, sub)
+        assert found  # e.g. (0, 2) completes a triangle
+
+    def test_limit_respected(self):
+        g = complete_graph(6)
+        sub = build_graph(6, [(0, 1)])
+        assert len(addable_edges(g, sub, limit=2)) == 2
+
+    def test_requires_chordal_subgraph(self):
+        g = cycle_graph(4)
+        with pytest.raises(ValueError, match="chordal"):
+            addable_edges(g, g)
+
+    def test_size_mismatch(self):
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            addable_edges(complete_graph(3), complete_graph(4))
+
+
+class TestIsMaximal:
+    def test_spanning_path_of_cycle(self):
+        g = cycle_graph(6)
+        sub = build_graph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        assert is_maximal_chordal_subgraph(g, sub)
+
+    def test_not_maximal(self):
+        g = complete_graph(4)
+        sub = build_graph(4, [(0, 1), (2, 3)])
+        assert not is_maximal_chordal_subgraph(g, sub)
+
+    def test_non_chordal_sub_rejected(self):
+        g = cycle_graph(4)
+        assert not is_maximal_chordal_subgraph(g, g)
+
+    def test_foreign_edges_rejected(self):
+        g = path_graph(4)
+        sub = build_graph(4, [(0, 2)])
+        assert not is_maximal_chordal_subgraph(g, sub)
+
+    def test_assert_valid_raises_with_diagnosis(self):
+        g = complete_graph(4)
+        sub = build_graph(4, [(0, 1)])
+        with pytest.raises(AssertionError, match="not maximal"):
+            assert_valid_extraction(g, sub)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_fast_addability_matches_oracle(data):
+    """Property: the two-pair BFS criterion == rebuild-and-recognise."""
+    from repro.core.extract import extract_maximal_chordal_subgraph
+
+    n = data.draw(st.integers(2, 9))
+    bits = data.draw(
+        st.lists(st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    g = random_graph_from_data(n, bits)
+    sub = extract_maximal_chordal_subgraph(g).subgraph  # chordal by Thm 1
+    assert addable_edges(g, sub) == addable_edges_slow(g, sub)

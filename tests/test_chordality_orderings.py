@@ -1,0 +1,131 @@
+"""Tests for MCS, Lex-BFS, and the Tarjan–Yannakakis PEO verifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordality.lexbfs import lexbfs_order, lexbfs_peo
+from repro.chordality.mcs import mcs_order, mcs_peo
+from repro.chordality.peo import is_perfect_elimination_ordering, peo_violation
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from tests.conftest import random_graph_from_data
+
+
+class TestMcsOrder:
+    def test_is_permutation(self, zoo_graph):
+        order = mcs_order(zoo_graph)
+        assert sorted(order.tolist()) == list(range(zoo_graph.num_vertices))
+
+    def test_starts_at_start(self):
+        assert mcs_order(cycle_graph(5), start=3)[0] == 3
+
+    def test_start_out_of_range(self):
+        with pytest.raises(ValueError):
+            mcs_order(path_graph(3), start=7)
+
+    def test_empty_graph(self):
+        assert mcs_order(build_graph(0, [])).size == 0
+
+    def test_deterministic(self, zoo_graph):
+        assert np.array_equal(mcs_order(zoo_graph), mcs_order(zoo_graph))
+
+    def test_clique_reverse_order_is_peo(self):
+        g = complete_graph(6)
+        assert is_perfect_elimination_ordering(g, mcs_peo(g))
+
+    def test_prefers_max_weight(self):
+        # star: after the hub, every leaf has weight 1; ties break by id
+        order = mcs_order(star_graph(4), start=0)
+        assert list(order) == [0, 1, 2, 3, 4]
+
+
+class TestLexBfs:
+    def test_is_permutation(self, zoo_graph):
+        order = lexbfs_order(zoo_graph)
+        assert sorted(order.tolist()) == list(range(zoo_graph.num_vertices))
+
+    def test_start_vertex(self):
+        assert lexbfs_order(cycle_graph(6), start=2)[0] == 2
+
+    def test_start_out_of_range(self):
+        with pytest.raises(ValueError):
+            lexbfs_order(path_graph(3), start=-1)
+
+    def test_empty_graph(self):
+        assert lexbfs_order(build_graph(0, [])).size == 0
+
+    def test_agrees_with_mcs_on_chordality(self, zoo_graph):
+        """The two orderings must judge chordality identically."""
+        mcs_ok = is_perfect_elimination_ordering(zoo_graph, mcs_peo(zoo_graph))
+        lex_ok = is_perfect_elimination_ordering(zoo_graph, lexbfs_peo(zoo_graph))
+        assert mcs_ok == lex_ok
+
+    def test_path_visits_contiguously(self):
+        # Lex-BFS on a path explores monotonically from the start
+        order = lexbfs_order(path_graph(5), start=0)
+        assert list(order) == [0, 1, 2, 3, 4]
+
+
+class TestPeoVerifier:
+    def test_path_natural_order(self):
+        g = path_graph(5)
+        assert is_perfect_elimination_ordering(g, np.arange(5))
+
+    def test_cycle4_no_peo_exists(self):
+        g = cycle_graph(4)
+        import itertools
+
+        assert all(
+            not is_perfect_elimination_ordering(g, np.array(p))
+            for p in itertools.permutations(range(4))
+        )
+
+    def test_violation_witness_is_nonedge(self):
+        g = cycle_graph(5)
+        witness = peo_violation(g, np.arange(5))
+        assert witness is not None
+        u, w = witness
+        assert not g.has_edge(u, w)
+
+    def test_tree_any_leaf_first_order(self):
+        g = binary_tree(3)
+        assert is_perfect_elimination_ordering(g, mcs_peo(g))
+
+    def test_non_permutation_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            is_perfect_elimination_ordering(g, np.array([0, 0, 1]))
+
+    def test_wrong_length_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            is_perfect_elimination_ordering(g, np.array([0, 1]))
+
+    def test_clique_every_order_is_peo(self):
+        g = complete_graph(5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            perm = rng.permutation(5)
+            assert is_perfect_elimination_ordering(g, perm)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_fillin_zero_iff_peo(data):
+    """Property: the independent fill-in oracle agrees with the verifier."""
+    from repro.chordalg.elimination import fill_in
+
+    n = data.draw(st.integers(2, 8))
+    bits = data.draw(st.lists(st.booleans(), min_size=n * (n - 1) // 2,
+                              max_size=n * (n - 1) // 2))
+    g = random_graph_from_data(n, bits)
+    order = np.asarray(data.draw(st.permutations(range(n))), dtype=np.int64)
+    assert (fill_in(g, order) == 0) == is_perfect_elimination_ordering(g, order)

@@ -1,0 +1,104 @@
+"""Tests for chordality recognition and hole extraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordality.recognition import find_hole, is_chordal
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import (
+    barbell_graph,
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from tests.conftest import random_graph_from_data, to_networkx
+
+
+CHORDAL_EXAMPLES = [
+    path_graph(7),
+    star_graph(5),
+    complete_graph(6),
+    binary_tree(3),
+    cycle_graph(3),
+    barbell_graph(4, 2),
+    build_graph(0, []),
+    build_graph(3, []),
+]
+
+NON_CHORDAL_EXAMPLES = [
+    cycle_graph(4),
+    cycle_graph(7),
+    grid_graph(2, 2),
+    grid_graph(3, 3),
+    ladder_graph(3),
+    wheel_graph(5),
+]
+
+
+class TestIsChordal:
+    @pytest.mark.parametrize("g", CHORDAL_EXAMPLES, ids=lambda g: repr(g))
+    def test_chordal_examples(self, g):
+        assert is_chordal(g)
+
+    @pytest.mark.parametrize("g", NON_CHORDAL_EXAMPLES, ids=lambda g: repr(g))
+    def test_non_chordal_examples(self, g):
+        assert not is_chordal(g)
+
+    def test_matches_networkx(self, zoo_graph):
+        import networkx as nx
+
+        assert is_chordal(zoo_graph) == nx.is_chordal(to_networkx(zoo_graph))
+
+    def test_disjoint_mix(self):
+        # chordal component + hole component => not chordal
+        g = build_graph(8, [(0, 1), (1, 2), (4, 5), (5, 6), (6, 7), (7, 4)])
+        assert not is_chordal(g)
+
+
+class TestFindHole:
+    @pytest.mark.parametrize("g", NON_CHORDAL_EXAMPLES, ids=lambda g: repr(g))
+    def test_hole_found_and_valid(self, g):
+        hole = find_hole(g)
+        assert hole is not None
+        k = len(hole)
+        assert k >= 4
+        # consecutive vertices adjacent, all others non-adjacent
+        for i in range(k):
+            for j in range(i + 1, k):
+                expected = (j - i == 1) or (i == 0 and j == k - 1)
+                assert g.has_edge(hole[i], hole[j]) == expected, (hole, i, j)
+
+    @pytest.mark.parametrize("g", CHORDAL_EXAMPLES, ids=lambda g: repr(g))
+    def test_no_hole_in_chordal(self, g):
+        assert find_hole(g) is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_recognition_matches_networkx_random(data):
+    """Property: our MCS+PEO recogniser agrees with networkx everywhere."""
+    import networkx as nx
+
+    n = data.draw(st.integers(1, 9))
+    bits = data.draw(
+        st.lists(st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    g = random_graph_from_data(n, bits)
+    assert is_chordal(g) == nx.is_chordal(to_networkx(g))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_hole_exists_iff_not_chordal(data):
+    n = data.draw(st.integers(4, 9))
+    bits = data.draw(
+        st.lists(st.booleans(), min_size=n * (n - 1) // 2, max_size=n * (n - 1) // 2)
+    )
+    g = random_graph_from_data(n, bits)
+    assert (find_hole(g) is None) == is_chordal(g)

@@ -1,0 +1,94 @@
+"""Tests for component stitching and the maximality completion pass."""
+
+import numpy as np
+import pytest
+
+from repro.chordality.recognition import is_chordal
+from repro.core.connect import stitch_components
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.core.maximalize import maximalize_chordal_edges
+from repro.graph.bfs import connected_components
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import complete_graph, cycle_graph, disjoint_cliques
+from repro.graph.generators.rmat import rmat_g
+from repro.graph.ops import edge_subgraph
+
+
+class TestStitchComponents:
+    def test_noop_when_connected(self):
+        g = cycle_graph(5)
+        edges = extract_maximal_chordal_subgraph(g).edges
+        out = stitch_components(g, edges)
+        assert out.shape == edges.shape
+
+    def test_bridges_added_when_available(self):
+        # path 0-2-1: natural-id extraction rejects (1,2), leaving vertex 1
+        # isolated even though G connects it.
+        g = build_graph(3, [(0, 2), (1, 2)])
+        result = extract_maximal_chordal_subgraph(g)
+        assert connected_components(result.subgraph)[0] == 2
+        stitched = stitch_components(g, result.edges)
+        sub = edge_subgraph(g, stitched)
+        assert connected_components(sub)[0] == 1
+        assert is_chordal(sub)
+
+    def test_skips_pairs_without_edges(self):
+        g = disjoint_cliques(3, 3)  # no cross-component edges exist
+        edges = extract_maximal_chordal_subgraph(g).edges
+        out = stitch_components(g, edges)
+        assert out.shape == edges.shape
+
+    def test_chordality_preserved(self):
+        g = rmat_g(7, seed=8)
+        edges = extract_maximal_chordal_subgraph(g).edges
+        out = stitch_components(g, edges)
+        assert is_chordal(edge_subgraph(g, out))
+
+    def test_successive_pairs_only(self):
+        # components 0-1 disconnected in G, 0-2 and 1-2 connected: the
+        # paper's rule joins (0,1)? no edge -> skipped; (1,2) joined.
+        g = build_graph(
+            6, [(0, 1), (2, 3), (4, 5), (1, 4), (3, 4)]
+        )
+        edges = np.asarray([[0, 1], [2, 3], [4, 5]], dtype=np.int64)
+        out = stitch_components(g, edges)
+        sub = edge_subgraph(g, out)
+        assert is_chordal(sub)
+        assert out.shape[0] >= 4  # at least one bridge added
+
+
+class TestMaximalize:
+    def test_empty_base(self):
+        g = complete_graph(4)
+        edges, added = maximalize_chordal_edges(g, np.empty((0, 2), np.int64))
+        sub = edge_subgraph(g, edges)
+        assert is_chordal(sub)
+        assert added == edges.shape[0]
+        from repro.chordality.maximality import addable_edges
+
+        assert addable_edges(g, sub, limit=1) == []
+
+    def test_already_maximal_unchanged(self):
+        g = cycle_graph(7)
+        base = extract_maximal_chordal_subgraph(g, maximalize=True).edges
+        edges, added = maximalize_chordal_edges(g, base)
+        assert added == 0
+        assert np.array_equal(edges, base)
+
+    def test_result_superset_of_input(self):
+        g = rmat_g(7, seed=8)
+        base = extract_maximal_chordal_subgraph(g).edges
+        out, added = maximalize_chordal_edges(g, base)
+        base_set = {tuple(e) for e in base.tolist()}
+        out_set = {tuple(sorted(e)) for e in out.tolist()}
+        assert base_set <= out_set
+        assert len(out_set) == len(base_set) + added
+
+    def test_certified_maximal_on_zoo(self, zoo_graph):
+        from repro.chordality.maximality import addable_edges
+
+        base = extract_maximal_chordal_subgraph(zoo_graph).edges
+        out, _ = maximalize_chordal_edges(zoo_graph, base)
+        sub = edge_subgraph(zoo_graph, out)
+        assert is_chordal(sub)
+        assert addable_edges(zoo_graph, sub, limit=1) == []

@@ -1,0 +1,137 @@
+"""Tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_graph
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def small():
+    return build_graph(4, [(0, 1), (1, 2), (2, 3), (0, 2)])
+
+
+class TestBasics:
+    def test_counts(self, small):
+        assert small.num_vertices == 4
+        assert small.num_edges == 4
+        assert small.num_arcs == 8
+
+    def test_degrees(self, small):
+        assert small.degree(0) == 2
+        assert small.degree(2) == 3
+        assert list(small.degrees()) == [2, 2, 3, 1]
+
+    def test_max_degree(self, small):
+        assert small.max_degree() == 3
+
+    def test_neighbors_sorted(self, small):
+        assert list(small.neighbors(2)) == [0, 1, 3]
+
+    def test_has_edge_both_directions(self, small):
+        assert small.has_edge(0, 2) and small.has_edge(2, 0)
+
+    def test_has_edge_absent(self, small):
+        assert not small.has_edge(0, 3)
+
+    def test_has_edge_unsorted_graph(self, small):
+        shuffled = small.shuffled(np.random.default_rng(0))
+        assert shuffled.has_edge(0, 2)
+        assert not shuffled.has_edge(0, 3)
+
+    def test_empty_graph(self):
+        g = build_graph(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_arrays_readonly(self, small):
+        with pytest.raises(ValueError):
+            small.indices[0] = 3
+
+
+class TestEdgeViews:
+    def test_edge_array_ordered(self, small):
+        edges = small.edge_array()
+        assert edges.shape == (4, 2)
+        assert bool(np.all(edges[:, 0] < edges[:, 1]))
+
+    def test_edge_set(self, small):
+        assert small.edge_set() == {(0, 1), (0, 2), (1, 2), (2, 3)}
+
+    def test_iter_edges_matches_edge_set(self, small):
+        assert set(small.iter_edges()) == small.edge_set()
+
+
+class TestTransforms:
+    def test_shuffled_same_edge_set(self, small):
+        shuffled = small.shuffled(np.random.default_rng(1))
+        assert shuffled == small
+        assert not shuffled.sorted_adjacency
+
+    def test_with_sorted_adjacency_roundtrip(self, small):
+        resorted = small.shuffled(np.random.default_rng(1)).with_sorted_adjacency()
+        assert resorted == small
+        assert resorted.sorted_adjacency
+
+    def test_with_sorted_is_noop_when_sorted(self, small):
+        assert small.with_sorted_adjacency() is small
+
+    def test_validate_symmetry_ok(self, small):
+        small.validate_symmetry()
+
+    def test_validate_symmetry_detects_asymmetry(self):
+        indptr = np.array([0, 1, 1])
+        indices = np.array([1])
+        g = CSRGraph(indptr, indices, sorted_adjacency=True, validate=False)
+        with pytest.raises(GraphFormatError):
+            g.validate_symmetry()
+
+    def test_validate_symmetry_detects_self_loop(self):
+        indptr = np.array([0, 1])
+        indices = np.array([0])
+        g = CSRGraph(indptr, indices, sorted_adjacency=True, validate=False)
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            g.validate_symmetry()
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]), sorted_adjacency=False)
+
+    def test_indptr_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 3]), np.array([0]), sorted_adjacency=False)
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2, 1]), np.array([1, 0, 1]), sorted_adjacency=False)
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1]), np.array([5]), sorted_adjacency=False)
+
+    def test_sorted_claim_checked(self):
+        indptr = np.array([0, 2, 3, 3])
+        indices = np.array([2, 1, 0])
+        with pytest.raises(GraphFormatError, match="strictly increasing"):
+            CSRGraph(indptr, indices, sorted_adjacency=True)
+
+
+class TestEquality:
+    def test_equal_ignores_adjacency_order(self, small):
+        assert small == small.shuffled(np.random.default_rng(3))
+
+    def test_unequal_different_edges(self, small):
+        other = build_graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert small != other
+
+    def test_unequal_different_sizes(self, small):
+        other = build_graph(5, list(small.iter_edges()))
+        assert small != other
+
+    def test_not_equal_to_non_graph(self, small):
+        assert small != "graph"

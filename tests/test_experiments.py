@@ -1,0 +1,149 @@
+"""Smoke + shape tests for every registered experiment (tiny parameters)."""
+
+import pytest
+
+from repro.experiments import REGISTRY, get_experiment, list_experiments
+from repro.experiments.report import ExperimentResult, format_series, format_table
+from repro.experiments.testsuite import (
+    GraphSpec,
+    bio_specs,
+    build_graph_cached,
+    clear_cache,
+    rmat_spec,
+    rmat_specs,
+    trace_for,
+)
+
+TINY = dict(scales=(7, 8), bio_fraction=1 / 128, seed=99)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run_tiny(experiment_id: str) -> ExperimentResult:
+    import inspect
+
+    run = get_experiment(experiment_id)
+    params = inspect.signature(run).parameters
+    kwargs = {k: v for k, v in TINY.items() if k in params}
+    if "scale" in params:
+        kwargs["scale"] = 7
+    if "sample" in params:
+        kwargs["sample"] = 64
+    return run(**kwargs)
+
+
+class TestRegistry:
+    def test_all_listed(self):
+        expected = {
+            "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "fig7", "chordal_fraction", "maximality_gap", "ablation",
+        }
+        assert set(list_experiments()) == expected
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="available"):
+            get_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(REGISTRY))
+def test_experiment_runs_and_renders(experiment_id):
+    result = run_tiny(experiment_id)
+    assert result.experiment_id == experiment_id
+    text = result.render()
+    assert experiment_id in text
+    assert result.rows or result.series
+
+
+class TestShapeCriteria:
+    """Spot-check the headline shape relations at tiny scale."""
+
+    def test_table1_orderings(self):
+        result = run_tiny("table1")
+        by_name = {row[0]: row for row in result.rows}
+        # max degree: ER < G < B at the same scale
+        assert by_name["RMAT-ER(8)"][4] < by_name["RMAT-B(8)"][4]
+        # bio replicas have higher edges/vertex than RMAT-ER... at tiny
+        # bio fractions the structural guarantee is size, so just check
+        # presence of all 4 networks
+        assert sum(1 for name in by_name if name.startswith("GSE")) == 4
+
+    def test_chordal_fraction_trends(self):
+        """At laptop scales RMAT-B is denser than the paper's half-billion-
+        edge instances, so its fraction sits *above* ER's and decreases
+        with scale toward the paper's ordering (ER 11% > B 6% at scale
+        24-26); we assert the decreasing trend and sane ranges."""
+        result = run_tiny("chordal_fraction")
+        frac = {row[0]: row[3] for row in result.rows}
+        assert frac["RMAT-B(8)"] <= frac["RMAT-B(7)"] * 1.15  # decreasing-ish
+        for name, f in frac.items():
+            assert 0.0 < f <= 1.0, name
+
+    def test_fig7_bio_more_iterations_than_rmat(self):
+        result = run_tiny("fig7")
+        iters = {row[0]: row[1] for row in result.rows}
+        rmat_iters = max(v for k, v in iters.items() if k.startswith("RMAT"))
+        bio_iters = max(v for k, v in iters.items() if k.startswith("GSE"))
+        assert bio_iters > rmat_iters * 0.8
+
+    def test_fig4_series_sane(self):
+        """All times positive; parallel time never *far* above serial
+        (at scale 7 the modeled barrier can exceed the tiny compute, so a
+        small tolerance is allowed — the recorded larger-scale runs
+        descend monotonically, see EXPERIMENTS.md)."""
+        result = run_tiny("fig4")
+        for name, pts in result.series.items():
+            assert all(t > 0 for _p, t in pts), name
+            t_first = pts[0][1]
+            t_last = pts[-1][1]
+            assert t_last <= 1.3 * t_first, name
+
+    def test_maximality_gap_nonnegative(self):
+        result = run_tiny("maximality_gap")
+        assert all(row[3] >= 0 for row in result.rows)
+
+
+class TestTestsuite:
+    def test_graph_cache_hits(self):
+        spec = rmat_spec("RMAT-ER", 7, seed=99)
+        a = build_graph_cached(spec)
+        b = build_graph_cached(spec)
+        assert a is b
+
+    def test_trace_cache_hits(self):
+        spec = rmat_spec("RMAT-ER", 7, seed=99)
+        a = trace_for(spec, "optimized")
+        b = trace_for(spec, "optimized")
+        assert a is b
+
+    def test_specs_cover_kinds(self):
+        specs = rmat_specs((7, 8), seed=1)
+        assert len(specs) == 6
+        assert len(bio_specs(0.01, seed=1)) == 4
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            rmat_spec("RMAT-X", 7)
+        with pytest.raises(ValueError):
+            build_graph_cached(GraphSpec(name="?", kind="mystery"))
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["A", "Bee"], [[1, 2.5], ["xx", 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[:2])) >= 1
+
+    def test_format_series(self):
+        text = format_series({"s": [(1, 2.0), (2, 4.0)]})
+        assert "[s]" in text and "4" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123], [12345.6], [0.5]])
+        assert "0.000123" in text
+        assert "1.23e+04" in text

@@ -1,0 +1,163 @@
+"""Tests for the chordal-by-construction generators and treewidth tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chordalg.treewidth import (
+    chordal_treewidth,
+    tree_decomposition,
+    treewidth_upper_bound,
+)
+from repro.chordality.mcs import mcs_peo
+from repro.chordality.recognition import is_chordal
+from repro.errors import NotChordalError
+from repro.graph.builder import build_graph
+from repro.graph.generators.chordal import (
+    interval_graph,
+    ktree,
+    partial_ktree,
+    random_chordal,
+)
+from repro.graph.generators.classic import complete_graph, cycle_graph, path_graph
+
+
+class TestKTree:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_chordal_with_exact_treewidth(self, k):
+        g = ktree(14, k, seed=1)
+        assert is_chordal(g)
+        assert chordal_treewidth(g) == k
+
+    def test_edge_count(self):
+        # k-tree on n vertices has k(k+1)/2 + k(n-k-1) edges
+        n, k = 12, 3
+        g = ktree(n, k, seed=2)
+        assert g.num_edges == k * (k + 1) // 2 + k * (n - k - 1)
+
+    def test_minimal_case_is_clique(self):
+        assert ktree(4, 3, seed=1) == complete_graph(4)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ktree(3, 3)
+
+    def test_determinism(self):
+        assert ktree(15, 2, seed=9) == ktree(15, 2, seed=9)
+
+    def test_one_tree_is_tree(self):
+        from repro.graph.bfs import connected_components
+
+        g = ktree(10, 1, seed=3)
+        assert g.num_edges == 9
+        assert connected_components(g)[0] == 1
+
+
+class TestPartialKTree:
+    def test_treewidth_bounded(self):
+        g = partial_ktree(18, 3, 0.6, seed=4)
+        bound = treewidth_upper_bound(g, mcs_peo(g))
+        # MCS gives a decent (not necessarily tight) triangulation; the
+        # true treewidth is <= 3 so a reasonable heuristic stays small
+        assert bound <= 6
+
+    def test_keep_one_is_full_ktree(self):
+        assert partial_ktree(10, 2, 1.0, seed=5).num_edges == ktree(10, 2, seed=5).num_edges
+
+    def test_keep_zero_is_empty(self):
+        assert partial_ktree(10, 2, 0.0, seed=5).num_edges == 0
+
+    def test_bad_keep(self):
+        with pytest.raises(ValueError):
+            partial_ktree(10, 2, 1.5)
+
+
+class TestRandomChordal:
+    @pytest.mark.parametrize("density", [0.0, 0.2, 0.5, 0.9])
+    def test_always_chordal(self, density):
+        assert is_chordal(random_chordal(40, density, seed=6))
+
+    def test_natural_order_reversed_is_peo(self):
+        from repro.chordality.peo import is_perfect_elimination_ordering
+
+        g = random_chordal(25, 0.5, seed=7)
+        order = np.arange(25)[::-1]
+        assert is_perfect_elimination_ordering(g, order)
+
+    def test_density_monotone_in_expectation(self):
+        sparse = random_chordal(60, 0.1, seed=8)
+        dense = random_chordal(60, 0.9, seed=8)
+        assert dense.num_edges >= sparse.num_edges
+
+    def test_connected(self):
+        from repro.graph.bfs import connected_components
+
+        g = random_chordal(30, 0.3, seed=9)
+        assert connected_components(g)[0] == 1  # every v links to some r < v
+
+    def test_trivial_sizes(self):
+        assert random_chordal(0, 0.5, seed=1).num_vertices == 0
+        assert random_chordal(1, 0.5, seed=1).num_edges == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 30), density=st.floats(0, 1), seed=st.integers(0, 100))
+    def test_property_chordal(self, n, density, seed):
+        assert is_chordal(random_chordal(n, density, seed=seed))
+
+
+class TestIntervalGraph:
+    def test_chordal(self):
+        for seed in range(4):
+            assert is_chordal(interval_graph(35, seed=seed))
+
+    def test_long_intervals_dense(self):
+        short = interval_graph(30, max_length=0.01, seed=3)
+        long = interval_graph(30, max_length=0.9, seed=3)
+        assert long.num_edges > short.num_edges
+
+    def test_trivial(self):
+        assert interval_graph(0, seed=1).num_vertices == 0
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            interval_graph(5, max_length=0.0)
+
+
+class TestTreewidth:
+    def test_clique(self):
+        assert chordal_treewidth(complete_graph(5)) == 4
+
+    def test_tree(self):
+        assert chordal_treewidth(path_graph(6)) == 1
+
+    def test_edgeless(self):
+        assert chordal_treewidth(build_graph(4, [])) == 0
+
+    def test_empty(self):
+        assert chordal_treewidth(build_graph(0, [])) == -1
+
+    def test_rejects_non_chordal(self):
+        with pytest.raises(NotChordalError):
+            chordal_treewidth(cycle_graph(4))
+
+    def test_decomposition_width_consistent(self):
+        g = ktree(12, 3, seed=1)
+        bags, edges, width = tree_decomposition(g)
+        assert width == 3
+        assert len(edges) == len(bags) - 1
+
+    def test_decomposition_covers_edges(self):
+        g = random_chordal(20, 0.4, seed=2)
+        bags, _edges, _w = tree_decomposition(g)
+        bag_sets = [set(b) for b in bags]
+        for u, v in g.iter_edges():
+            assert any(u in b and v in b for b in bag_sets)
+
+    def test_upper_bound_exact_on_chordal_with_peo(self):
+        g = ktree(14, 2, seed=3)
+        assert treewidth_upper_bound(g, mcs_peo(g)) == 2
+
+    def test_upper_bound_on_cycle(self):
+        # any triangulation of a cycle has treewidth 2
+        assert treewidth_upper_bound(cycle_graph(8), np.arange(8)) == 2

@@ -1,0 +1,124 @@
+"""Tests for the deterministic graph families."""
+
+import pytest
+
+from repro.chordality.recognition import is_chordal
+from repro.graph.bfs import connected_components
+from repro.graph.generators.classic import (
+    barbell_graph,
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    disjoint_cliques,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+
+
+class TestPathAndCycle:
+    def test_path_counts(self):
+        g = path_graph(6)
+        assert g.num_vertices == 6 and g.num_edges == 5
+
+    def test_path_degrees(self):
+        g = path_graph(4)
+        assert sorted(g.degrees().tolist()) == [1, 1, 2, 2]
+
+    def test_path_trivial_sizes(self):
+        assert path_graph(0).num_vertices == 0
+        assert path_graph(1).num_edges == 0
+
+    def test_path_chordal(self):
+        assert is_chordal(path_graph(9))
+
+    def test_cycle_counts(self):
+        g = cycle_graph(7)
+        assert g.num_vertices == 7 and g.num_edges == 7
+
+    def test_cycle_2_regular(self):
+        assert set(cycle_graph(5).degrees().tolist()) == {2}
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_triangle_chordal_larger_not(self):
+        assert is_chordal(cycle_graph(3))
+        assert not is_chordal(cycle_graph(4))
+        assert not is_chordal(cycle_graph(9))
+
+
+class TestCliquesAndStars:
+    def test_complete_edge_count(self):
+        assert complete_graph(6).num_edges == 15
+
+    def test_complete_chordal(self):
+        assert is_chordal(complete_graph(8))
+
+    def test_star_structure(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+
+    def test_star_chordal(self):
+        assert is_chordal(star_graph(10))
+
+    def test_disjoint_cliques_components(self):
+        g = disjoint_cliques(4, 3)
+        assert connected_components(g)[0] == 4
+        assert g.num_edges == 4 * 3
+
+    def test_disjoint_cliques_chordal(self):
+        assert is_chordal(disjoint_cliques(3, 5))
+
+
+class TestGridsTreesEtc:
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+
+    def test_grid_not_chordal(self):
+        assert not is_chordal(grid_graph(2, 2))
+
+    def test_one_dim_grid_is_path(self):
+        assert grid_graph(1, 5) == path_graph(5)
+
+    def test_binary_tree_counts(self):
+        g = binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+
+    def test_binary_tree_chordal(self):
+        assert is_chordal(binary_tree(4))
+
+    def test_ladder_counts(self):
+        g = ladder_graph(4)
+        assert g.num_vertices == 8
+        assert g.num_edges == 3 + 3 + 4
+
+    def test_ladder_not_chordal(self):
+        assert not is_chordal(ladder_graph(3))
+
+    def test_wheel_counts(self):
+        g = wheel_graph(5)
+        assert g.num_vertices == 6
+        assert g.num_edges == 10
+
+    def test_wheel3_is_k4(self):
+        assert wheel_graph(3) == complete_graph(4)
+
+    def test_wheel_large_not_chordal(self):
+        assert not is_chordal(wheel_graph(5))
+
+    def test_barbell_structure(self):
+        g = barbell_graph(4, 2)
+        assert connected_components(g)[0] == 1
+        assert g.num_edges == 6 + 6 + 2
+
+    def test_barbell_chordal(self):
+        # two cliques joined by a path have no long chordless cycles
+        assert is_chordal(barbell_graph(5, 3))

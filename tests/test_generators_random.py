@@ -1,0 +1,89 @@
+"""Tests for the random graph families."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.random import barabasi_albert, gnm_random_graph, gnp_random_graph
+
+
+class TestGnp:
+    def test_determinism(self):
+        assert gnp_random_graph(50, 0.2, seed=3) == gnp_random_graph(50, 0.2, seed=3)
+
+    def test_p_zero_empty(self):
+        assert gnp_random_graph(30, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = gnp_random_graph(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        g = gnp_random_graph(n, p, seed=5)
+        expected = p * n * (n - 1) / 2
+        assert 0.75 * expected < g.num_edges < 1.25 * expected
+
+    def test_large_n_skip_sampling_path(self):
+        g = gnp_random_graph(4000, 0.0005, seed=2)
+        expected = 0.0005 * 4000 * 3999 / 2
+        assert 0.6 * expected < g.num_edges < 1.4 * expected
+        g.validate_symmetry()
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(10, 1.5)
+
+    def test_zero_vertices(self):
+        assert gnp_random_graph(0, 0.5, seed=1).num_vertices == 0
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm_random_graph(40, 100, seed=4)
+        assert g.num_edges == 100
+
+    def test_zero_edges(self):
+        assert gnm_random_graph(10, 0, seed=1).num_edges == 0
+
+    def test_max_edges(self):
+        g = gnm_random_graph(8, 28, seed=1)
+        assert g.num_edges == 28
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(5, 11)
+
+    def test_determinism(self):
+        assert gnm_random_graph(30, 60, seed=9) == gnm_random_graph(30, 60, seed=9)
+
+    def test_no_self_loops(self):
+        g = gnm_random_graph(20, 50, seed=2)
+        g.validate_symmetry()
+
+
+class TestBarabasiAlbert:
+    def test_counts(self):
+        g = barabasi_albert(50, 3, seed=1)
+        assert g.num_vertices == 50
+        # each arriving vertex adds at most m_attach distinct edges
+        assert g.num_edges <= 3 * 47 + 3
+
+    def test_connected(self):
+        from repro.graph.bfs import connected_components
+
+        g = barabasi_albert(60, 2, seed=2)
+        assert connected_components(g)[0] == 1
+
+    def test_skewed_degrees(self):
+        g = barabasi_albert(300, 2, seed=3)
+        degs = g.degrees()
+        assert degs.max() > 4 * np.median(degs)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_determinism(self):
+        assert barabasi_albert(40, 2, seed=5) == barabasi_albert(40, 2, seed=5)

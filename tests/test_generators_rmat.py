@@ -1,0 +1,100 @@
+"""Tests for the R-MAT generator (the paper's synthetic suite)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators.rmat import (
+    RMAT_B_PROBS,
+    RMAT_ER_PROBS,
+    RMAT_G_PROBS,
+    RMATParams,
+    rmat_b,
+    rmat_edges,
+    rmat_er,
+    rmat_g,
+    rmat_graph,
+)
+from repro.util.rng import make_rng
+
+
+class TestParams:
+    def test_vertex_count(self):
+        assert RMATParams(10).num_vertices == 1024
+
+    def test_nominal_edges_default_factor(self):
+        assert RMATParams(10).nominal_edges == 8192
+
+    def test_label(self):
+        assert RMATParams(12, name="RMAT-B").label() == "RMAT-B(12)"
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            RMATParams(-1)
+        with pytest.raises(ValueError):
+            RMATParams(31)
+
+    def test_bad_probs(self):
+        with pytest.raises(ValueError):
+            RMATParams(8, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_bad_edge_factor(self):
+        with pytest.raises(ValueError):
+            RMATParams(8, edge_factor=0)
+
+    def test_presets_sum_to_one(self):
+        for probs in (RMAT_ER_PROBS, RMAT_G_PROBS, RMAT_B_PROBS):
+            assert sum(probs) == pytest.approx(1.0)
+
+
+class TestGeneration:
+    def test_raw_edges_shape_and_range(self):
+        params = RMATParams(8)
+        raw = rmat_edges(params, make_rng(0))
+        assert raw.shape == (params.nominal_edges, 2)
+        assert raw.min() >= 0 and raw.max() < params.num_vertices
+
+    def test_determinism(self):
+        assert rmat_er(9, seed=5) == rmat_er(9, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert rmat_er(9, seed=5) != rmat_er(9, seed=6)
+
+    def test_simple_graph(self):
+        rmat_b(9, seed=1).validate_symmetry()
+
+    def test_dedup_shrinks_edges(self):
+        """Duplicates/loops are dropped, so |E| < nominal (paper Table I)."""
+        g = rmat_b(10, seed=2)
+        assert g.num_edges < RMATParams(10).nominal_edges
+
+    def test_er_edges_close_to_nominal(self):
+        g = rmat_er(10, seed=3)
+        assert g.num_edges > 0.95 * RMATParams(10).nominal_edges
+
+    def test_scale_zero(self):
+        g = rmat_graph(RMATParams(0), seed=1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+
+class TestDegreeProfiles:
+    """The paper's Table I orderings: max degree and variance ER < G < B."""
+
+    @pytest.fixture(scope="class")
+    def triple(self):
+        scale, seed = 11, 7
+        return rmat_er(scale, seed=seed), rmat_g(scale, seed=seed), rmat_b(scale, seed=seed)
+
+    def test_max_degree_ordering(self, triple):
+        er, g, b = triple
+        assert er.max_degree() < g.max_degree() < b.max_degree()
+
+    def test_variance_ordering(self, triple):
+        er, g, b = triple
+        var = lambda x: float(np.var(x.degrees()))
+        assert var(er) < var(g) < var(b)
+
+    def test_er_degrees_concentrated(self, triple):
+        er, _, _ = triple
+        # paper Table I: RMAT-ER max degree stays in the tens
+        assert er.max_degree() < 8 * er.degrees().mean()

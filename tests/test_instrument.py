@@ -1,0 +1,126 @@
+"""Tests for the work-trace instrumentation (paper §V claims included)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.core.instrument import CostModelParams, TraceBuilder
+from repro.graph.generators.classic import complete_graph, disjoint_cliques
+from repro.graph.generators.rmat import rmat_b, rmat_er
+
+
+class TestTraceBuilder:
+    def test_disabled_builder_records_nothing(self):
+        b = TraceBuilder("optimized", 10, 20, enabled=False)
+        b.scan(0, 5)
+        b.service(0, 1, 3, 1, True)
+        b.flush()
+        assert b.trace.num_iterations == 0
+
+    def test_single_iteration_accounting(self):
+        b = TraceBuilder("optimized", 10, 20)
+        b.scan(0, 4)
+        b.service(0, 1, test_cost=2, advance_cost=1, edge_added=True)
+        b.service(0, 2, test_cost=3, advance_cost=1, edge_added=False)
+        b.flush()
+        it = b.trace.iterations[0]
+        assert it.queue_size == 1
+        assert it.services == 2
+        assert it.edges_added == 1
+        assert it.scan_ops == 4
+        assert it.subset_comparisons == 5
+        assert it.advance_ops == 2
+        assert it.queue_ops == 4
+        # item cost: 4*scan + (2+1+2) + (3+1+2)
+        assert it.total_work == pytest.approx(4 + 5 + 6)
+
+    def test_critical_path_chains_through_common_child(self):
+        b = TraceBuilder("optimized", 10, 20)
+        # w=5 served by v=1 then v=2: the two services chain
+        b.service(1, 5, 2, 1, True)
+        b.service(2, 5, 2, 1, True)
+        # independent service elsewhere
+        b.service(3, 7, 2, 1, True)
+        b.flush()
+        it = b.trace.iterations[0]
+        per_service = 2 + 1 + 2
+        assert it.critical_path_ops == pytest.approx(2 * per_service)
+
+    def test_critical_path_chains_through_parent_set(self):
+        b = TraceBuilder("optimized", 10, 20)
+        # v=3 is served as a child, then serves its own child: dependent
+        b.service(1, 3, 2, 1, True)
+        b.service(3, 8, 2, 1, True)
+        b.flush()
+        assert b.trace.iterations[0].critical_path_ops == pytest.approx(10)
+
+    def test_iterations_reset(self):
+        b = TraceBuilder("optimized", 10, 20)
+        b.service(0, 1, 1, 1, True)
+        b.flush()
+        b.service(2, 3, 1, 1, False)
+        b.flush()
+        assert b.trace.num_iterations == 2
+        assert b.trace.iterations[1].edges_added == 0
+
+    def test_cost_params_respected(self):
+        params = CostModelParams(scan_op=10.0, compare_op=0.0, advance_op=0.0, queue_op=0.0)
+        b = TraceBuilder("optimized", 10, 20, params)
+        b.scan(0, 3)
+        b.service(0, 1, 5, 5, True)
+        b.flush()
+        assert b.trace.iterations[0].total_work == pytest.approx(30.0)
+
+
+class TestAlgorithmTraces:
+    def test_queue_sizes_match_engine(self):
+        g = rmat_er(9, seed=4)
+        r = extract_maximal_chordal_subgraph(g, collect_trace=True)
+        assert r.trace.queue_sizes == r.queue_sizes
+
+    def test_no_edge_checked_twice(self):
+        """Paper §III: 'No edge is checked more than once' — total services
+        equals the number of (vertex, lower-neighbor) pairs."""
+        g = rmat_er(9, seed=4)
+        r = extract_maximal_chordal_subgraph(g, collect_trace=True)
+        services = sum(it.services for it in r.trace.iterations)
+        total_lower = sum(
+            int(np.sum(g.neighbors(v) < v)) for v in range(g.num_vertices)
+        )
+        assert services == total_lower == g.num_edges
+
+    def test_clique_iteration_law(self):
+        """Paper §III: a k-clique requires k-1 steps."""
+        for k in (3, 5, 8):
+            r = extract_maximal_chordal_subgraph(complete_graph(k), collect_trace=True)
+            assert r.trace.num_iterations == k - 1
+
+    def test_q2_exceeds_q1_on_rmat(self):
+        """Paper Fig 7: 'slightly more [LPs] in the second iteration'."""
+        g = rmat_b(10, seed=6)
+        r = extract_maximal_chordal_subgraph(g)
+        assert r.queue_sizes[1] > r.queue_sizes[0]
+
+    def test_queue_decays_after_peak(self):
+        g = rmat_b(10, seed=6)
+        qs = extract_maximal_chordal_subgraph(g).queue_sizes
+        peak = int(np.argmax(qs))
+        tail = qs[peak:]
+        assert all(a >= b for a, b in zip(tail, tail[1:])) or tail[-1] < qs[peak] / 4
+
+    def test_unopt_advance_ops_exceed_opt(self):
+        g = rmat_b(9, seed=2)
+        opt = extract_maximal_chordal_subgraph(g, collect_trace=True, variant="optimized")
+        unopt = extract_maximal_chordal_subgraph(g, collect_trace=True, variant="unoptimized")
+        assert (
+            sum(it.advance_ops for it in unopt.trace.iterations)
+            > 3 * sum(it.advance_ops for it in opt.trace.iterations)
+        )
+
+    def test_disjoint_cliques_summary(self):
+        g = disjoint_cliques(2, 5)
+        r = extract_maximal_chordal_subgraph(g, collect_trace=True)
+        summary = r.trace.summary()
+        assert summary["iterations"] == 4
+        assert summary["chordal_edges"] == 20
+        assert summary["critical_path"] > 0

@@ -1,0 +1,145 @@
+"""Tests for edge-list and npz serialisation."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_graph
+from repro.graph.generators.rmat import rmat_g
+from repro.graph.io import load_npz, read_edgelist, save_npz, write_edgelist
+
+
+@pytest.fixture
+def sample():
+    return build_graph(5, [(0, 1), (1, 2), (3, 4)])
+
+
+class TestEdgelist:
+    def test_roundtrip_file(self, sample, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edgelist(sample, path)
+        assert read_edgelist(path) == sample
+
+    def test_roundtrip_stream(self, sample):
+        buf = io.StringIO()
+        write_edgelist(sample, buf)
+        buf.seek(0)
+        assert read_edgelist(buf) == sample
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        g = build_graph(10, [(0, 1)])
+        path = tmp_path / "g.txt"
+        write_edgelist(g, path)
+        assert read_edgelist(path).num_vertices == 10
+
+    def test_comments_and_blank_lines(self):
+        text = "# a comment\n\n0 1\n# another\n1 2\n"
+        g = read_edgelist(io.StringIO(text))
+        assert g.edge_set() == {(0, 1), (1, 2)}
+
+    def test_vertex_count_inferred(self):
+        g = read_edgelist(io.StringIO("0 7\n"))
+        assert g.num_vertices == 8
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_edgelist(io.StringIO("0 1 2\n"))
+
+    def test_empty_file(self):
+        g = read_edgelist(io.StringIO(""))
+        assert g.num_vertices == 0
+
+    def test_rmat_roundtrip(self, tmp_path):
+        g = rmat_g(7, seed=9)
+        path = tmp_path / "rmat.txt"
+        write_edgelist(g, path)
+        assert read_edgelist(path) == g
+
+
+class TestNpz:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(sample, path)
+        loaded = load_npz(path)
+        assert loaded == sample
+        assert loaded.sorted_adjacency == sample.sorted_adjacency
+
+    def test_preserves_unsorted_flag(self, sample, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "g.npz"
+        save_npz(sample.shuffled(np.random.default_rng(0)), path)
+        assert not load_npz(path).sorted_adjacency
+
+
+class TestMetis:
+    def test_roundtrip(self, sample, tmp_path):
+        from repro.graph.io import read_metis, write_metis
+
+        path = tmp_path / "g.metis"
+        write_metis(sample, path)
+        assert read_metis(path) == sample
+
+    def test_stream_roundtrip(self):
+        import io as _io
+
+        from repro.graph.io import read_metis, write_metis
+        from repro.graph.generators.rmat import rmat_er
+
+        g = rmat_er(7, seed=4)
+        buf = _io.StringIO()
+        write_metis(g, buf)
+        buf.seek(0)
+        assert read_metis(buf) == g
+
+    def test_comments_skipped(self):
+        import io as _io
+
+        from repro.graph.io import read_metis
+
+        text = "% header comment\n3 2\n2 3\n1\n1\n"
+        g = read_metis(_io.StringIO(text))
+        assert g.edge_set() == {(0, 1), (0, 2)}
+
+    def test_header_mismatch_rejected(self):
+        import io as _io
+
+        import pytest as _pytest
+
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_metis
+
+        with _pytest.raises(GraphFormatError, match="declares"):
+            read_metis(_io.StringIO("3 5\n2\n1\n\n"))
+
+    def test_weighted_rejected(self):
+        import io as _io
+
+        import pytest as _pytest
+
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_metis
+
+        with _pytest.raises(GraphFormatError, match="weighted"):
+            read_metis(_io.StringIO("2 1 011\n2 5\n1 5\n"))
+
+    def test_empty_file_rejected(self):
+        import io as _io
+
+        import pytest as _pytest
+
+        from repro.errors import GraphFormatError
+        from repro.graph.io import read_metis
+
+        with _pytest.raises(GraphFormatError, match="header"):
+            read_metis(_io.StringIO(""))
+
+    def test_isolated_trailing_vertices(self):
+        import io as _io
+
+        from repro.graph.io import read_metis
+
+        g = read_metis(_io.StringIO("4 1\n2\n1\n"))
+        assert g.num_vertices == 4
+        assert g.degree(3) == 0

@@ -1,0 +1,139 @@
+"""Tests for the XMT/Opteron machine models and the simulation driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.errors import MachineModelError
+from repro.graph.generators.rmat import rmat_b, rmat_er
+from repro.machine.calibration import default_opteron, default_xmt
+from repro.machine.model import speedup_curve
+from repro.machine.opteron import OpteronModel
+from repro.machine.xmt import CrayXMTModel
+
+
+@pytest.fixture(scope="module")
+def er_trace():
+    g = rmat_er(10, seed=3)
+    return extract_maximal_chordal_subgraph(g, collect_trace=True).trace
+
+
+@pytest.fixture(scope="module")
+def b_trace():
+    g = rmat_b(10, seed=3)
+    return extract_maximal_chordal_subgraph(g, collect_trace=True).trace
+
+
+class TestSimulationBasics:
+    def test_result_structure(self, er_trace):
+        res = default_xmt().simulate(er_trace, 4)
+        assert res.processors == 4
+        assert res.total_seconds > 0
+        assert len(res.iteration_seconds) == er_trace.num_iterations
+        assert res.total_seconds == pytest.approx(sum(res.iteration_seconds))
+        assert 0 < res.sync_seconds < res.total_seconds
+        assert res.compute_seconds > 0
+
+    def test_monotone_in_processors(self, er_trace):
+        """More processors never slow an iteration's compute below... the
+        total may rise slightly from barrier growth, but T(P) <= T(1)."""
+        xmt = default_xmt()
+        t1 = xmt.simulate(er_trace, 1).total_seconds
+        for p in (2, 8, 32, 128):
+            assert xmt.simulate(er_trace, p).total_seconds <= t1
+
+    def test_processor_bounds(self, er_trace):
+        with pytest.raises(MachineModelError):
+            default_xmt().simulate(er_trace, 0)
+        with pytest.raises(MachineModelError):
+            default_xmt().simulate(er_trace, 129)
+        with pytest.raises(MachineModelError):
+            default_opteron().simulate(er_trace, 64)
+
+    def test_speedup_curve(self, er_trace):
+        curve = speedup_curve(default_xmt(), er_trace, [1, 2, 4])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[4] >= curve[2] >= 1.0
+
+
+class TestPaperShapes:
+    """The headline qualitative claims of the paper's Section V."""
+
+    def test_xmt_slower_single_processor(self, er_trace):
+        """Fig 6: single-processor XMT is several times slower than AMD."""
+        t_xmt = default_xmt().simulate(er_trace, 1).total_seconds
+        t_amd = default_opteron().simulate(er_trace, 1).total_seconds
+        assert t_xmt > 2 * t_amd
+
+    def test_er_scales_better_than_b_on_xmt(self, er_trace, b_trace):
+        """Fig 4: RMAT-B saturates earlier on the XMT than RMAT-ER."""
+        xmt = default_xmt()
+        s_er = speedup_curve(xmt, er_trace, [64])[64]
+        s_b = speedup_curve(xmt, b_trace, [64])[64]
+        assert s_er > s_b
+
+    def test_opt_beats_unopt_on_xmt_rmat_b(self):
+        """Section V: 'the optimized version is nearly twice as fast as
+        the unoptimized for RMAT-B' (on XMT)."""
+        g = rmat_b(10, seed=3)
+        xmt = default_xmt()
+        t_unopt = xmt.simulate(
+            extract_maximal_chordal_subgraph(g, collect_trace=True, variant="unoptimized").trace, 64
+        ).total_seconds
+        t_opt = xmt.simulate(
+            extract_maximal_chordal_subgraph(g, collect_trace=True, variant="optimized").trace, 64
+        ).total_seconds
+        assert t_unopt > 1.5 * t_opt
+
+    def test_opt_unopt_insignificant_on_amd(self):
+        """Section V: 'differences between optimized and unoptimized
+        algorithms was insignificant' on the Opteron."""
+        g = rmat_er(10, seed=3)
+        amd = default_opteron()
+        t_unopt = amd.simulate(
+            extract_maximal_chordal_subgraph(g, collect_trace=True, variant="unoptimized").trace, 1
+        ).total_seconds
+        t_opt = amd.simulate(
+            extract_maximal_chordal_subgraph(g, collect_trace=True, variant="optimized").trace, 1
+        ).total_seconds
+        assert t_unopt < 1.6 * t_opt
+
+
+class TestModelConfiguration:
+    def test_xmt_validation(self):
+        with pytest.raises(MachineModelError):
+            CrayXMTModel(clock_hz=0)
+        with pytest.raises(MachineModelError):
+            CrayXMTModel(streams_per_processor=0)
+        with pytest.raises(MachineModelError):
+            CrayXMTModel(lookahead=0)
+
+    def test_opteron_validation(self):
+        with pytest.raises(MachineModelError):
+            OpteronModel(clock_hz=-1)
+        with pytest.raises(MachineModelError):
+            OpteronModel(miss_rate_floor=0.9, miss_rate_ceiling=0.1)
+        with pytest.raises(MachineModelError):
+            OpteronModel(serial_fraction=1.0)
+
+    def test_opteron_miss_rate_grows_with_working_set(self, er_trace):
+        amd = default_opteron()
+        from repro.core.instrument import WorkTrace
+
+        small = WorkTrace("optimized", 100, 1000)
+        big = WorkTrace("optimized", 10_000_000, 500_000_000)
+        assert amd.miss_rate(small) < amd.miss_rate(big)
+
+    def test_fresh_default_instances(self):
+        assert default_xmt() is not default_xmt()
+        assert default_opteron() is not default_opteron()
+
+
+class TestEmptyTrace:
+    def test_empty_trace_zero_time(self):
+        from repro.core.instrument import WorkTrace
+
+        trace = WorkTrace("optimized", 10, 0)
+        res = default_xmt().simulate(trace, 4)
+        assert res.total_seconds == 0.0
+        assert res.iteration_seconds == []

@@ -1,0 +1,87 @@
+"""Tests for the experiment CLI and the errors module."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConvergenceError,
+    GraphFormatError,
+    MachineModelError,
+    NotChordalError,
+    ReproError,
+)
+from repro.experiments.runner import build_parser, main
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (GraphFormatError, NotChordalError, ConvergenceError, MachineModelError):
+            assert issubclass(exc, ReproError)
+
+    def test_graph_format_is_value_error(self):
+        assert issubclass(GraphFormatError, ValueError)
+
+    def test_catchable_as_base(self):
+        from repro.graph.builder import build_graph
+
+        with pytest.raises(ReproError):
+            build_graph(2, [(0, 9)])
+
+
+class TestCli:
+    def test_parser_accepts_scales(self):
+        args = build_parser().parse_args(["table1", "--scales", "8,9"])
+        assert args.scales == (8, 9)
+
+    def test_parser_rejects_bad_scales(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scales", "a,b"])
+
+    def test_main_runs_experiment(self, capsys):
+        rc = main(["table1", "--scales", "7", "--bio-fraction", "0.01", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "RMAT-ER(7)" in out
+
+    def test_main_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_main_scale_flag(self, capsys):
+        rc = main(["ablation", "--scale", "7", "--seed", "5"])
+        assert rc == 0
+        assert "ablation" in capsys.readouterr().out
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.chordalg
+        import repro.chordality
+        import repro.core
+        import repro.experiments
+        import repro.graph
+        import repro.machine
+        import repro.parallel
+
+        for module in (
+            repro.analysis,
+            repro.baselines,
+            repro.chordalg,
+            repro.chordality,
+            repro.core,
+            repro.graph,
+            repro.machine,
+            repro.parallel,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

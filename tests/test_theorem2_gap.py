@@ -1,0 +1,80 @@
+"""Machine-checked counterexample to the paper's Theorem 2 claim.
+
+Theorem 2 asserts that when Algorithm 1's output ``EC`` induces a
+connected subgraph, that subgraph is a *maximal* chordal subgraph of the
+input.  The proof ends by exhibiting a cycle of length > 3 through a
+rejected edge and declaring chordality destroyed — but the exhibited
+cycle can be chorded, and the rejected edge can in fact be addable.
+
+The root cause: the subset test ``C[w] ⊆ C[v]`` (line 15) evaluates while
+``C[v]`` is still growing.  An element reaching ``C[w]`` via an earlier
+parent may enter ``C[v]`` only *after* the pair ``(v, w)`` is processed,
+so the rejection is premature relative to the final sets.
+
+This module pins a concrete counterexample (found by search, verified
+with two independent chordality oracles) so the erratum stays documented
+and the completion pass stays honest.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.chordality.maximality import addable_edges
+from repro.chordality.recognition import is_chordal
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.graph.bfs import bfs_renumber, connected_components
+from repro.graph.generators.rmat import rmat_b
+from tests.conftest import to_networkx
+
+
+@pytest.fixture(scope="module")
+def counterexample():
+    """BFS-numbered RMAT-B(8) instance known to violate the claim."""
+    graph, _ = bfs_renumber(rmat_b(8, seed=42))
+    result = extract_maximal_chordal_subgraph(graph)
+    return graph, result
+
+
+class TestTheorem2Gap:
+    def test_output_is_chordal(self, counterexample):
+        """Theorem 1 (chordality) does hold."""
+        graph, result = counterexample
+        assert is_chordal(result.subgraph)
+
+    def test_addable_edge_exists(self, counterexample):
+        """Theorem 2 (maximality) does not: some graph edge is addable."""
+        graph, result = counterexample
+        found = addable_edges(graph, result.subgraph, limit=1)
+        assert found, "expected a maximality violation on this instance"
+
+    def test_violation_within_connected_component(self, counterexample):
+        """The violation is not a disconnected-output artifact: the
+        addable edge lies inside one connected component of EC."""
+        graph, result = counterexample
+        (u, v) = addable_edges(graph, result.subgraph, limit=1)[0]
+        _, labels = connected_components(result.subgraph)
+        assert labels[u] == labels[v]
+
+    def test_confirmed_by_networkx(self, counterexample):
+        """Independent oracle: networkx agrees the augmented subgraph is
+        still chordal."""
+        graph, result = counterexample
+        (u, v) = addable_edges(graph, result.subgraph, limit=1)[0]
+        G = to_networkx(result.subgraph)
+        assert nx.is_chordal(G)
+        G.add_edge(int(u), int(v))
+        assert nx.is_chordal(G)
+        assert graph.has_edge(int(u), int(v))
+
+    def test_completion_pass_closes_gap(self, counterexample):
+        graph, _ = counterexample
+        fixed = extract_maximal_chordal_subgraph(graph, maximalize=True)
+        assert fixed.maximality_gap > 0
+        assert addable_edges(graph, fixed.subgraph, limit=1) == []
+
+    def test_gap_affects_both_schedules(self):
+        graph, _ = bfs_renumber(rmat_b(8, seed=42))
+        for schedule in ("asynchronous", "synchronous"):
+            result = extract_maximal_chordal_subgraph(graph, schedule=schedule)
+            assert addable_edges(graph, result.subgraph, limit=1), schedule

@@ -1,0 +1,98 @@
+"""Tests for rng, timing, and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.timing import Timer, format_seconds
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(7, 5)) == 5
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(7, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_deterministic(self):
+        first = [g.random() for g in spawn_rngs(7, 3)]
+        second = [g.random() for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_format_ranges(self):
+        assert format_seconds(5e-7).endswith("ns")
+        assert format_seconds(5e-5).endswith("us")
+        assert format_seconds(5e-2).endswith("ms")
+        assert format_seconds(5.0).endswith(" s")
+        assert format_seconds(300.0).endswith("min")
+
+    def test_format_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestValidation:
+    def test_positive_ok(self):
+        check_positive("x", 1)
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_nonnegative_ok(self):
+        check_nonnegative("x", 0)
+
+    def test_nonnegative_rejects(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_in_range_ok(self):
+        check_in_range("x", 0.5, 0.0, 1.0)
+
+    def test_in_range_rejects(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_probability_vector_ok(self):
+        out = check_probability_vector("p", [0.25, 0.25, 0.25, 0.25], length=4)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_probability_vector_bad_sum(self):
+        with pytest.raises(ValueError, match="sum"):
+            check_probability_vector("p", [0.5, 0.4])
+
+    def test_probability_vector_bad_length(self):
+        with pytest.raises(ValueError, match="shape"):
+            check_probability_vector("p", [0.5, 0.5], length=4)
+
+    def test_probability_vector_negative_entry(self):
+        with pytest.raises(ValueError):
+            check_probability_vector("p", [-0.5, 1.5])

@@ -1,0 +1,110 @@
+"""Tests for the sorted-array kernels (two-pointer subset, merges)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sorting import (
+    is_sorted,
+    is_strictly_sorted,
+    merge_unique,
+    sorted_intersect_size,
+    sorted_subset,
+    sorted_subset_arrays,
+)
+
+
+class TestIsSorted:
+    def test_empty(self):
+        assert is_sorted([])
+        assert is_strictly_sorted([])
+
+    def test_single(self):
+        assert is_sorted([5])
+        assert is_strictly_sorted([5])
+
+    def test_sorted_with_duplicates(self):
+        assert is_sorted([1, 2, 2, 3])
+        assert not is_strictly_sorted([1, 2, 2, 3])
+
+    def test_unsorted(self):
+        assert not is_sorted([3, 1, 2])
+        assert not is_strictly_sorted([3, 1, 2])
+
+    def test_numpy_input(self):
+        assert is_sorted(np.array([1, 4, 9]))
+        assert is_strictly_sorted(np.array([1, 4, 9]))
+
+
+class TestSortedSubset:
+    def test_empty_is_subset(self):
+        assert sorted_subset([], [1, 2, 3])
+        assert sorted_subset([], [])
+
+    def test_identity(self):
+        assert sorted_subset([1, 2, 3], [1, 2, 3])
+
+    def test_proper_subset(self):
+        assert sorted_subset([2, 5], [1, 2, 3, 5, 8])
+
+    def test_missing_element(self):
+        assert not sorted_subset([2, 4], [1, 2, 3, 5])
+
+    def test_larger_than_superset(self):
+        assert not sorted_subset([1, 2, 3], [1, 2])
+
+    def test_nonempty_vs_empty(self):
+        assert not sorted_subset([1], [])
+
+    def test_element_beyond_end(self):
+        assert not sorted_subset([9], [1, 2, 3])
+
+    @given(
+        st.lists(st.integers(0, 50), unique=True),
+        st.lists(st.integers(0, 50), unique=True),
+    )
+    def test_matches_set_semantics(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert sorted_subset(a, b) == set(a).issubset(b)
+
+    @given(
+        st.lists(st.integers(0, 50), unique=True),
+        st.lists(st.integers(0, 50), unique=True),
+    )
+    def test_array_variant_matches(self, a, b):
+        a, b = sorted(a), sorted(b)
+        got = sorted_subset_arrays(np.asarray(a, np.int64), np.asarray(b, np.int64))
+        assert got == set(a).issubset(b)
+
+
+class TestIntersectAndMerge:
+    def test_intersect_disjoint(self):
+        assert sorted_intersect_size([1, 3], [2, 4]) == 0
+
+    def test_intersect_overlap(self):
+        assert sorted_intersect_size([1, 2, 5, 9], [2, 5, 7]) == 2
+
+    def test_merge_disjoint(self):
+        assert merge_unique([1, 3], [2, 4]) == [1, 2, 3, 4]
+
+    def test_merge_with_common(self):
+        assert merge_unique([1, 2, 5], [2, 5, 7]) == [1, 2, 5, 7]
+
+    def test_merge_one_empty(self):
+        assert merge_unique([], [1, 2]) == [1, 2]
+        assert merge_unique([1, 2], []) == [1, 2]
+
+    @given(
+        st.lists(st.integers(0, 30), unique=True),
+        st.lists(st.integers(0, 30), unique=True),
+    )
+    def test_intersect_matches_sets(self, a, b):
+        assert sorted_intersect_size(sorted(a), sorted(b)) == len(set(a) & set(b))
+
+    @given(
+        st.lists(st.integers(0, 30), unique=True),
+        st.lists(st.integers(0, 30), unique=True),
+    )
+    def test_merge_matches_sets(self, a, b):
+        assert merge_unique(sorted(a), sorted(b)) == sorted(set(a) | set(b))
