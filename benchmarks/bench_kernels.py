@@ -12,6 +12,13 @@ from repro.baselines.dearing import dearing_max_chordal
 from repro.chordality.lexbfs import lexbfs_order
 from repro.chordality.mcs import mcs_peo
 from repro.chordality.peo import is_perfect_elimination_ordering
+from record_baseline import arena_state
+from repro.core.kernels import (
+    build_arena_keys,
+    subset_mask,
+    vectorized_sync_max_chordal,
+)
+from repro.core.procpool import ProcessPool
 from repro.core.superstep import superstep_max_chordal
 from repro.core.threaded import threaded_max_chordal
 from repro.graph.bfs import bfs_levels
@@ -27,10 +34,6 @@ def er11():
 @pytest.fixture(scope="module")
 def b11():
     return rmat_b(11, seed=1)
-
-
-class BenchExtraction:
-    pass
 
 
 def test_extract_er_optimized(benchmark, er11):
@@ -51,6 +54,55 @@ def test_extract_b_optimized(benchmark, b11):
 def test_extract_b_synchronous(benchmark, b11):
     edges, _, _ = benchmark(superstep_max_chordal, b11, schedule="synchronous")
     assert edges.shape[0] > 0
+
+
+def test_extract_sync_loop_baseline(benchmark, er11):
+    """The seed pair-loop synchronous engine (regression baseline for the
+    vectorized kernels below)."""
+    edges, _, _ = benchmark(
+        superstep_max_chordal, er11, schedule="synchronous", use_kernels=False
+    )
+    assert edges.shape[0] > 0
+
+
+def test_extract_sync_kernels(benchmark, er11):
+    """Bulk-kernel synchronous engine — same edges as the loop baseline."""
+    edges, _ = benchmark(vectorized_sync_max_chordal, er11)
+    assert edges.shape[0] > 0
+
+
+def test_extract_process_engine(benchmark, er11):
+    """Process engine on a persistent pool (fork cost excluded, as the
+    paper excludes thread-team spin-up)."""
+    with ProcessPool(er11, num_workers=2) as pool:
+        edges, _ = benchmark(pool.extract)
+    assert edges.shape[0] > 0
+
+
+@pytest.fixture(scope="module")
+def er11_arena(er11):
+    """A finished run's chordal arena on er11 (shared with record_baseline)."""
+    return arena_state(er11)
+
+
+def test_kernel_build_arena_keys(benchmark, er11_arena):
+    """Arena compression kernel on a fully-extracted chordal arena."""
+    _g, n, _lower, offsets, arena, counts = er11_arena
+    keys = benchmark(build_arena_keys, arena, offsets, counts, n)
+    assert keys.size == counts.sum()
+
+
+def test_kernel_subset_mask(benchmark, er11_arena):
+    """Bulk subset test: every vertex probed against its smallest parent."""
+    from repro.core.kernels import initial_parents
+
+    g, n, lower, offsets, arena, counts = er11_arena
+    keys = build_arena_keys(arena, offsets, counts, n)
+    lp = initial_parents(g.indptr, g.indices, lower)
+    ws = np.flatnonzero(lp >= 0)
+    vs = lp[ws]
+    ok = benchmark(subset_mask, keys, arena, offsets, counts, ws, vs, n)
+    assert ok.size == ws.size
 
 
 def test_extract_threaded_overhead(benchmark, er11):

@@ -1,0 +1,59 @@
+"""Tier-2 guard: fail when a hot kernel regresses >2x against the baseline.
+
+Compares the current median wall-clock of every kernel registered in
+``benchmarks/record_baseline.py`` against the committed
+``benchmarks/BENCH_kernels.json``.  Not part of tier-1 (``bench_*`` files
+are not collected by default); run it explicitly:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_regression_guard.py -q
+
+The 2x factor absorbs machine-to-machine and load noise; a genuine
+algorithmic regression (e.g. un-vectorizing a kernel) is far larger.
+After an *intentional* slowdown, re-record with
+``python benchmarks/record_baseline.py`` and commit the new baseline.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from record_baseline import BASELINE_PATH, build_kernels, median_seconds
+
+#: Maximum tolerated current/baseline ratio.
+MAX_REGRESSION = 2.0
+
+#: Floor below which timing jitter dominates and the ratio is meaningless.
+MIN_MEANINGFUL_SECONDS = 1e-3
+
+if BASELINE_PATH.exists():
+    _BASELINE = json.loads(BASELINE_PATH.read_text())["median_seconds"]
+else:  # pragma: no cover - fresh checkout without a recorded baseline
+    _BASELINE = {}
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return build_kernels()
+
+
+@pytest.mark.skipif(not _BASELINE, reason="no committed BENCH_kernels.json")
+def test_baseline_covers_registry(kernels):
+    """Every registered kernel has a recorded baseline and vice versa."""
+    assert set(_BASELINE) == set(kernels)
+
+
+@pytest.mark.skipif(not _BASELINE, reason="no committed BENCH_kernels.json")
+@pytest.mark.parametrize("name", sorted(_BASELINE))
+def test_kernel_not_regressed(kernels, name):
+    if name not in kernels:
+        pytest.skip("kernel removed from registry; re-record the baseline")
+    current = median_seconds(kernels[name], repeats=3)
+    baseline = max(_BASELINE[name], MIN_MEANINGFUL_SECONDS)
+    ratio = current / baseline
+    assert ratio <= MAX_REGRESSION, (
+        f"{name}: {current * 1e3:.2f} ms vs baseline "
+        f"{_BASELINE[name] * 1e3:.2f} ms ({ratio:.2f}x > {MAX_REGRESSION}x); "
+        "if intentional, re-run benchmarks/record_baseline.py"
+    )

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Record the kernel wall-clock baseline (BENCH_kernels.json).
+
+Measures the median wall-clock of every registered hot kernel and writes
+``benchmarks/BENCH_kernels.json``.  The committed baseline is what
+``benchmarks/bench_regression_guard.py`` (tier-2) compares against: a
+kernel that regresses more than the guard's factor (2x) against this file
+fails the check.
+
+Re-record (on a quiet machine) whenever a kernel is *intentionally* made
+slower or faster:
+
+    PYTHONPATH=src python benchmarks/record_baseline.py
+
+The kernel registry below is shared with the regression guard, so the two
+files can never disagree about what is measured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+#: Median-of-N repeats used for both recording and guarding.
+REPEATS = 5
+
+
+def arena_state(graph):
+    """A finished run's chordal arena on ``graph``: C[w] = accepted parents.
+
+    Shared between the kernel microbenchmarks here and in
+    ``bench_kernels.py`` so both measure identical inputs.  Returns
+    ``(g, n, lower, offsets, arena, counts)``.
+    """
+    import numpy as np
+
+    from repro.core.kernels import (
+        arena_offsets,
+        lower_counts,
+        vectorized_sync_max_chordal,
+    )
+
+    g = graph.with_sorted_adjacency()
+    n = g.num_vertices
+    lower = lower_counts(g.indptr, g.indices)
+    offsets = arena_offsets(lower)
+    edges, _ = vectorized_sync_max_chordal(g)
+    arena = np.full(int(offsets[-1]), -1, dtype=np.int64)
+    counts = np.zeros(n, dtype=np.int64)
+    for v, w in edges:  # (parent, child): v joins C[w], in increasing order
+        arena[offsets[w] + counts[w]] = v
+        counts[w] += 1
+    return g, n, lower, offsets, arena, counts
+
+
+def build_kernels() -> dict:
+    """name -> zero-arg callable for every guarded hot kernel.
+
+    Imports happen here (not at module top) so the regression guard can
+    import this module cheaply before deciding to skip.
+    """
+    import numpy as np
+
+    from repro.baselines.dearing import dearing_max_chordal
+    from repro.chordality.lexbfs import lexbfs_order
+    from repro.chordality.mcs import mcs_peo
+    from repro.core.kernels import (
+        build_arena_keys,
+        initial_parents,
+        subset_mask,
+        vectorized_sync_max_chordal,
+    )
+    from repro.core.superstep import superstep_max_chordal
+    from repro.core.threaded import threaded_max_chordal
+    from repro.graph.bfs import bfs_levels
+    from repro.graph.generators.rmat import rmat_b, rmat_er
+
+    er11 = rmat_er(11, seed=1)
+    b11 = rmat_b(11, seed=1)
+
+    g, n, lower, offsets, arena, counts = arena_state(er11)
+    keys = build_arena_keys(arena, offsets, counts, n)
+    lp = initial_parents(g.indptr, g.indices, lower)
+    ws = np.flatnonzero(lp >= 0)
+    vs = lp[ws]
+
+    return {
+        "extract_async_opt_er11": lambda: superstep_max_chordal(
+            er11, variant="optimized"
+        ),
+        "extract_async_unopt_er11": lambda: superstep_max_chordal(
+            er11, variant="unoptimized"
+        ),
+        "extract_sync_loop_er11": lambda: superstep_max_chordal(
+            er11, schedule="synchronous", use_kernels=False
+        ),
+        "extract_sync_kernels_er11": lambda: vectorized_sync_max_chordal(er11),
+        "extract_sync_kernels_b11": lambda: vectorized_sync_max_chordal(b11),
+        "extract_threaded_sync_er11": lambda: threaded_max_chordal(
+            er11, num_threads=4, schedule="synchronous"
+        ),
+        "dearing_er11": lambda: dearing_max_chordal(er11),
+        "mcs_peo_er11": lambda: mcs_peo(er11),
+        "lexbfs_er11": lambda: lexbfs_order(er11),
+        "bfs_er11": lambda: bfs_levels(er11, 0),
+        "kernel_build_arena_keys_er11": lambda: build_arena_keys(
+            arena, offsets, counts, n
+        ),
+        "kernel_subset_mask_er11": lambda: subset_mask(
+            keys, arena, offsets, counts, ws, vs, n
+        ),
+    }
+
+
+def median_seconds(fn, repeats: int = REPEATS) -> float:
+    """Median wall-clock of ``repeats`` calls (one untimed warm-up)."""
+    from repro.util.timing import median_of
+
+    return median_of(fn, repeats)
+
+
+def record(path: Path = BASELINE_PATH, repeats: int = REPEATS) -> dict:
+    kernels = build_kernels()
+    medians = {}
+    for name, fn in kernels.items():
+        medians[name] = median_seconds(fn, repeats)
+        print(f"  {name:<32} {medians[name] * 1e3:9.3f} ms")
+    payload = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host_cores": os.cpu_count(),
+        "repeats": repeats,
+        "median_seconds": medians,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    record()

@@ -25,6 +25,8 @@ from repro.core import (
     reference_max_chordal,
     superstep_max_chordal,
     threaded_max_chordal,
+    process_max_chordal,
+    ProcessPool,
     stitch_components,
 )
 from repro.chordality import (
@@ -61,6 +63,8 @@ __all__ = [
     "reference_max_chordal",
     "superstep_max_chordal",
     "threaded_max_chordal",
+    "process_max_chordal",
+    "ProcessPool",
     "stitch_components",
     "is_chordal",
     "is_maximal_chordal_subgraph",

@@ -9,7 +9,11 @@ semantics (see DESIGN.md §5):
 * :mod:`repro.core.superstep` — array-based serial engine with the paper's
   *optimized* (sorted adjacency) and *unoptimized* (scan) parent strategies.
 * :mod:`repro.core.threaded` — real ``threading`` engine with a persistent
-  thread team and per-iteration barriers.
+  thread team and per-iteration barriers (GIL-bound; demonstrates the
+  concurrency structure).
+* :mod:`repro.core.procpool` — worker-*process* engine over shared memory,
+  executing the bulk kernels of :mod:`repro.core.kernels` with real
+  core-level parallelism (synchronous schedule only).
 * :func:`repro.core.extract.extract_maximal_chordal_subgraph` — the public
   entry point dispatching between them.
 """
@@ -22,6 +26,7 @@ from repro.core.extract import (
     SCHEDULES,
 )
 from repro.core.maximalize import maximalize_chordal_edges
+from repro.core.procpool import ProcessPool, process_max_chordal
 from repro.core.reference import reference_max_chordal
 from repro.core.superstep import superstep_max_chordal
 from repro.core.threaded import threaded_max_chordal
@@ -38,6 +43,8 @@ __all__ = [
     "reference_max_chordal",
     "superstep_max_chordal",
     "threaded_max_chordal",
+    "process_max_chordal",
+    "ProcessPool",
     "stitch_components",
     "WorkTrace",
     "IterationTrace",

@@ -1,10 +1,11 @@
 """Public entry point: :func:`extract_maximal_chordal_subgraph`.
 
-Dispatches between the reference, serial-superstep and threaded engines,
-optionally BFS-renumbers the input first (the paper's recipe for
-guaranteeing a connected — hence provably maximal — chordal subgraph on
-connected inputs), optionally stitches disconnected output components, and
-returns a :class:`ChordalResult` bundling the edge set with run metadata.
+Dispatches between the reference, serial-superstep, threaded and
+process-parallel engines, optionally BFS-renumbers the input first (the
+paper's recipe for guaranteeing a connected — hence provably maximal —
+chordal subgraph on connected inputs), optionally stitches disconnected
+output components, and returns a :class:`ChordalResult` bundling the edge
+set with run metadata.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import numpy as np
 from repro.core.connect import stitch_components
 from repro.core.instrument import CostModelParams, WorkTrace
 from repro.core.maximalize import maximalize_chordal_edges
+from repro.core.procpool import process_max_chordal
 from repro.core.reference import reference_max_chordal
 from repro.core.superstep import superstep_max_chordal
 from repro.core.threaded import threaded_max_chordal
@@ -35,7 +37,7 @@ __all__ = [
 VARIANTS = ("optimized", "unoptimized")
 
 #: Execution engines.
-ENGINES = ("superstep", "threaded", "reference")
+ENGINES = ("superstep", "threaded", "process", "reference")
 
 #: Intra-iteration schedules (see repro.core.reference docs).
 SCHEDULES = ("asynchronous", "synchronous")
@@ -115,6 +117,7 @@ def extract_maximal_chordal_subgraph(
     variant: str = "optimized",
     schedule: str = "asynchronous",
     num_threads: int = 4,
+    num_workers: int = 4,
     renumber: str | None = None,
     stitch: bool = False,
     maximalize: bool = False,
@@ -130,7 +133,10 @@ def extract_maximal_chordal_subgraph(
         Input graph (any :class:`~repro.graph.csr.CSRGraph`).
     engine:
         ``"superstep"`` (serial array engine, default), ``"threaded"``
-        (real thread team) or ``"reference"`` (literal pseudocode).
+        (real thread team; GIL-bound), ``"process"`` (worker-process team
+        over shared memory — the only engine with real core-level
+        speedup; synchronous schedule only) or ``"reference"`` (literal
+        pseudocode).
     variant:
         ``"optimized"`` (sorted adjacency) or ``"unoptimized"``.
     schedule:
@@ -140,9 +146,13 @@ def extract_maximal_chordal_subgraph(
         on the gene networks).  ``"synchronous"`` uses barrier-snapshot
         semantics (one parent per vertex per superstep) — deterministic
         across engines and thread counts, with iteration count equal to
-        the maximum lower-degree.
+        the maximum lower-degree.  The ``process`` engine supports only
+        this schedule and returns edge sets bit-identical to
+        ``engine="superstep"``.
     num_threads:
         Thread-team size for the threaded engine.
+    num_workers:
+        Worker-process count for the process engine.
     renumber:
         ``"bfs"`` renumbers vertices in BFS order before extraction and
         maps the edge set back — on connected inputs this guarantees the
@@ -178,6 +188,11 @@ def extract_maximal_chordal_subgraph(
         raise ValueError(f"renumber must be None or 'bfs', got {renumber!r}")
     if collect_trace and engine != "superstep":
         raise ValueError("collect_trace requires engine='superstep'")
+    if engine == "process" and schedule != "synchronous":
+        raise ValueError(
+            "engine='process' supports only schedule='synchronous'; "
+            "use the superstep or threaded engine for asynchronous runs"
+        )
 
     work_graph = graph
     old_of_new: np.ndarray | None = None
@@ -200,6 +215,14 @@ def extract_maximal_chordal_subgraph(
         edges, queue_sizes = threaded_max_chordal(
             work_graph,
             num_threads=num_threads,
+            variant=variant,
+            schedule=schedule,
+            max_iterations=max_iterations,
+        )
+    elif engine == "process":
+        edges, queue_sizes = process_max_chordal(
+            work_graph,
+            num_workers=num_workers,
             variant=variant,
             schedule=schedule,
             max_iterations=max_iterations,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import initial_parents, lower_counts
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -56,19 +57,18 @@ class SortedParentStrategy:
         if not graph.sorted_adjacency:
             graph = graph.with_sorted_adjacency()
         self.graph = graph
-        n = graph.num_vertices
-        indptr, indices = graph.indptr, graph.indices
         # lower_count[w] = number of neighbors with id < w (parent capacity)
-        self.lower_count = np.empty(n, dtype=np.int64)
-        for w in range(n):
-            lo, hi = indptr[w], indptr[w + 1]
-            self.lower_count[w] = np.searchsorted(indices[lo:hi], w)
+        self.lower_count = lower_counts(graph.indptr, graph.indices)
 
     def parent_at(self, w: int, cursor: int) -> tuple[int, int]:
         """(parent id or -1, advance cost in ops) for the given cursor."""
         if cursor >= self.lower_count[w]:
             return -1, 1
         return int(self.graph.indices[self.graph.indptr[w] + cursor]), 1
+
+    def initial_parents(self) -> np.ndarray:
+        """Lowest parent of every vertex at once (Algorithm 1 lines 4-10)."""
+        return initial_parents(self.graph.indptr, self.graph.indices, self.lower_count)
 
 
 class UnsortedParentStrategy:
@@ -83,13 +83,8 @@ class UnsortedParentStrategy:
 
     def __init__(self, graph: CSRGraph) -> None:
         self.graph = graph
-        n = graph.num_vertices
-        indptr, indices = graph.indptr, graph.indices
-        self.lower_count = np.empty(n, dtype=np.int64)
-        for w in range(n):
-            lo, hi = indptr[w], indptr[w + 1]
-            self.lower_count[w] = int(np.count_nonzero(indices[lo:hi] < w))
-        self._prev = np.full(n, -1, dtype=np.int64)
+        self.lower_count = lower_counts(graph.indptr, graph.indices)
+        self._prev = np.full(graph.num_vertices, -1, dtype=np.int64)
 
     def parent_at(self, w: int, cursor: int) -> tuple[int, int]:
         """Scan for the smallest neighbor in (prev_parent, w); cost = deg(w).
@@ -109,6 +104,24 @@ class UnsortedParentStrategy:
         best = int(candidates.min())
         self._prev[w] = best
         return best, hi - lo
+
+    def initial_parents(self) -> np.ndarray:
+        """Lowest parent of every vertex at once (Algorithm 1 lines 4-10).
+
+        Vectorized min-over-lower-neighbors; primes the scan bounds exactly
+        as per-vertex ``parent_at(w, 0)`` calls would.
+        """
+        g = self.graph
+        n = g.num_vertices
+        lp = np.full(n, n, dtype=np.int64)
+        if g.indices.size:
+            owner = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.indptr))
+            mask = g.indices < owner
+            np.minimum.at(lp, owner[mask], g.indices[mask].astype(np.int64))
+        lp[lp == n] = -1
+        has = lp >= 0
+        self._prev[has] = lp[has]
+        return lp
 
     def reset(self) -> None:
         """Rewind the scan bounds (for reuse of the strategy across runs)."""
@@ -159,15 +172,12 @@ class ChordalState:
         self.arena = np.full(int(self.offsets[-1]), -1, dtype=np.int64)
         self.counts = np.zeros(n, dtype=np.int64)
         self.cursor = np.zeros(n, dtype=np.int64)
-        self.lp = np.full(n, -1, dtype=np.int64)
         self.sets: list[set[int]] = [set() for _ in range(n)]
         self.edges_u: list[int] = []
         self.edges_v: list[int] = []
         # Initialisation (Algorithm 1 lines 4-10): every vertex with at
         # least one lower neighbor points at its lowest parent.
-        for w in range(n):
-            parent, _cost = strategy.parent_at(w, 0)
-            self.lp[w] = parent
+        self.lp = strategy.initial_parents()
 
     # ------------------------------------------------------------------
     def chordal_set(self, v: int) -> np.ndarray:

@@ -14,7 +14,11 @@ in :mod:`repro.core.reference`:
   cost the paper's implementation pays.
 
 * ``"synchronous"`` — barrier semantics, one parent consumed per active
-  vertex per superstep.
+  vertex per superstep.  When no work trace is requested this schedule
+  runs on the bulk NumPy kernels of :mod:`repro.core.kernels` (identical
+  edges and queue sizes, several times faster); the historical pair loop
+  remains behind ``use_kernels=False`` and is the engine the traces are
+  collected from.
 
 Cost structure per iteration matches the paper exactly:
 
@@ -30,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.instrument import CostModelParams, TraceBuilder, WorkTrace
+from repro.core.kernels import vectorized_sync_max_chordal
 from repro.core.state import ChordalState, make_strategy
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
@@ -45,6 +50,7 @@ def superstep_max_chordal(
     collect_trace: bool = False,
     cost_params: CostModelParams | None = None,
     max_iterations: int | None = None,
+    use_kernels: bool | None = None,
 ) -> tuple[np.ndarray, list[int], WorkTrace | None]:
     """Extract the maximal chordal edge set.
 
@@ -64,6 +70,14 @@ def superstep_max_chordal(
         Op-count weights for the trace (defaults are fine).
     max_iterations:
         Safety bound, default ``max_degree + 2``.
+    use_kernels:
+        Synchronous schedule only: run each superstep through the bulk
+        NumPy kernels of :mod:`repro.core.kernels` instead of the Python
+        pair loop.  ``None`` (default) auto-selects the kernels whenever no
+        trace is requested (they produce identical edges and queue sizes,
+        just much faster); ``False`` forces the historical loop engine
+        (the benchmark baseline); ``True`` is incompatible with
+        ``collect_trace`` (the kernels do no per-pair cost accounting).
 
     Returns
     -------
@@ -72,11 +86,23 @@ def superstep_max_chordal(
         ``queue_sizes`` is |Q1| per iteration; ``trace`` is the
         :class:`WorkTrace` when requested, else ``None``.
     """
+    if use_kernels and collect_trace:
+        raise ValueError("use_kernels=True is incompatible with collect_trace")
+    if use_kernels and schedule == "asynchronous":
+        raise ValueError(
+            "use_kernels=True requires schedule='synchronous'; the "
+            "asynchronous sweep has no bulk-kernel form"
+        )
     if schedule == "asynchronous":
         return _run_async(
             graph, variant, collect_trace, cost_params, max_iterations
         )
     if schedule == "synchronous":
+        if use_kernels or (use_kernels is None and not collect_trace):
+            edges, queue_sizes = vectorized_sync_max_chordal(
+                graph, variant=variant, max_iterations=max_iterations
+            )
+            return edges, queue_sizes, None
         return _run_sync(
             graph, variant, collect_trace, cost_params, max_iterations
         )

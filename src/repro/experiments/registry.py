@@ -14,6 +14,7 @@ from repro.experiments import (
     fig6,
     fig7,
     maximality_gap,
+    scaling_measured,
     table1,
     table2,
 )
@@ -33,6 +34,7 @@ REGISTRY: dict[str, Callable[..., ExperimentResult]] = {
     "chordal_fraction": chordal_fraction.run,
     "maximality_gap": maximality_gap.run,
     "ablation": ablation.run,
+    "scaling_measured": scaling_measured.run,
 }
 
 

@@ -1,0 +1,111 @@
+"""Spec-driven shared-memory array blocks for the process engine.
+
+The ``process`` engine shares all of Algorithm 1's state — graph CSR
+arrays, the chordal arena, parent cursors and per-superstep scratch —
+between the coordinating process and its workers through **one**
+``multiprocessing.shared_memory`` segment.  :class:`SharedArrayBlock`
+carves that segment into named NumPy views from a declarative *spec*
+(``{name: (dtype, shape)}``): the parent creates the block, workers attach
+to it by name with the same spec, and both sides see the same layout
+without any per-array handle plumbing.
+
+Views are 8-byte aligned so every ``int64`` slot is a single aligned
+machine word; the unique-writer discipline of the engine (each vertex's
+state has exactly one writing worker per superstep) then guarantees
+tear-free access without locks.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayBlock", "layout_size"]
+
+_ALIGN = 8
+
+
+def _layout(spec: dict[str, tuple[str, tuple[int, ...]]]) -> tuple[dict[str, tuple[int, str, tuple[int, ...]]], int]:
+    """Byte offsets for each named array; total segment size."""
+    offsets: dict[str, tuple[int, str, tuple[int, ...]]] = {}
+    cursor = 0
+    for name, (dtype, shape) in spec.items():
+        itemsize = np.dtype(dtype).itemsize
+        cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+        offsets[name] = (cursor, dtype, tuple(shape))
+        cursor += itemsize * int(np.prod(shape, dtype=np.int64))
+    return offsets, max(cursor, 1)
+
+
+def layout_size(spec: dict[str, tuple[str, tuple[int, ...]]]) -> int:
+    """Total bytes a block with this spec occupies."""
+    return _layout(spec)[1]
+
+
+class SharedArrayBlock:
+    """Named NumPy views over one shared-memory segment.
+
+    Use :meth:`create` in the owning process and :meth:`attach` (with the
+    identical spec) in workers.  ``arrays[name]`` is a live view — writes
+    are visible to every attached process immediately.
+
+    The owner must call :meth:`unlink` (once) in addition to
+    :meth:`close`; attachers only :meth:`close`.  Both are idempotent and
+    wrapped by context-manager support.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec, *, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._closed = False
+        offsets, total = _layout(spec)
+        if shm.size < total:
+            raise ValueError(
+                f"shared segment of {shm.size} bytes too small for spec ({total} bytes)"
+            )
+        self.arrays: dict[str, np.ndarray] = {
+            name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+            for name, (off, dtype, shape) in offsets.items()
+        }
+
+    @classmethod
+    def create(cls, spec: dict[str, tuple[str, tuple[int, ...]]]) -> "SharedArrayBlock":
+        """Allocate a fresh zero-initialised segment sized for ``spec``."""
+        shm = shared_memory.SharedMemory(create=True, size=layout_size(spec))
+        return cls(shm, spec, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, spec: dict[str, tuple[str, tuple[int, ...]]]) -> "SharedArrayBlock":
+        """Attach to an existing segment by name with the creator's spec."""
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, spec, owner=False)
+
+    @property
+    def name(self) -> str:
+        """OS-level segment name workers attach with."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Views alias shm.buf; drop them before closing the mapping.
+        self.arrays = {}
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the OS (owner only, after close)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "SharedArrayBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

@@ -1,7 +1,7 @@
 """Shared utilities: RNG seeding, timing, validation, sorted-array kernels."""
 
 from repro.util.rng import make_rng, spawn_rngs
-from repro.util.timing import Timer, format_seconds
+from repro.util.timing import Timer, best_of, format_seconds, median_of
 from repro.util.validation import (
     check_positive,
     check_nonnegative,
@@ -21,6 +21,8 @@ __all__ = [
     "spawn_rngs",
     "Timer",
     "format_seconds",
+    "best_of",
+    "median_of",
     "check_positive",
     "check_nonnegative",
     "check_in_range",

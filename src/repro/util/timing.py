@@ -7,9 +7,11 @@ only supplies the plumbing.
 
 from __future__ import annotations
 
+import statistics
 import time
+from collections.abc import Callable
 
-__all__ = ["Timer", "format_seconds"]
+__all__ = ["Timer", "format_seconds", "best_of", "median_of"]
 
 
 class Timer:
@@ -33,6 +35,40 @@ class Timer:
 
     def __exit__(self, *exc) -> None:
         self.elapsed = time.perf_counter() - self.start
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls to ``fn``.
+
+    The minimum is the standard noise-robust statistic for benchmarking a
+    deterministic workload (any excess over the true cost is interference).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def median_of(fn: Callable[[], object], repeats: int, *, warmup: bool = True) -> float:
+    """Median wall-clock seconds of ``repeats`` calls (optional warm-up call).
+
+    The median is what the regression baseline records: robust to a single
+    interfered repeat in either direction.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup:
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
 
 
 def format_seconds(seconds: float) -> str:

@@ -1,4 +1,15 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures, markers and helpers for the test suite.
+
+Markers (registered here so ``--strict-markers`` stays viable):
+
+* ``slow``   — long-running sweeps; skipped unless ``--run-slow`` (or an
+  explicit ``-m`` expression naming ``slow``) is given.
+* ``stress`` — adversarial concurrency stress; skipped unless
+  ``--run-stress`` (or ``-m ... stress ...``) is given.
+
+Tier-1 (``pytest -x -q``) therefore stays fast; the marked sweeps are the
+tier-2 deep end (see ``tests/README.md``).
+"""
 
 from __future__ import annotations
 
@@ -17,6 +28,37 @@ from repro.graph.generators.classic import (
 )
 from repro.graph.generators.random import gnp_random_graph
 from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
+
+_OPTIONAL_MARKERS = {
+    "slow": ("--run-slow", "long-running test; skipped unless --run-slow"),
+    "stress": ("--run-stress", "adversarial stress test; skipped unless --run-stress"),
+}
+
+
+def pytest_addoption(parser) -> None:
+    for name, (flag, _description) in _OPTIONAL_MARKERS.items():
+        parser.addoption(
+            flag,
+            action="store_true",
+            default=False,
+            help=f"also run tests marked '{name}'",
+        )
+
+
+def pytest_configure(config) -> None:
+    for name, (_flag, description) in _OPTIONAL_MARKERS.items():
+        config.addinivalue_line("markers", f"{name}: {description}")
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    markexpr = config.getoption("-m", default="") or ""
+    for name, (flag, _description) in _OPTIONAL_MARKERS.items():
+        if config.getoption(flag) or name in markexpr:
+            continue
+        skip = pytest.mark.skip(reason=f"needs {flag} (or -m {name})")
+        for item in items:
+            if name in item.keywords:
+                item.add_marker(skip)
 
 
 def to_networkx(graph: CSRGraph):

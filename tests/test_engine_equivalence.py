@@ -1,0 +1,203 @@
+"""Cross-engine equivalence harness (property-style seed sweep).
+
+The synchronous schedule is the repo's determinism contract: all four
+engines (``superstep`` loop + kernels, ``threaded``, ``process``,
+``reference``) × both variants must produce the *identical canonical edge
+set* on every input.  The asynchronous schedule promises less — any run
+yields a chordal subgraph whose maximality gap the completion pass can
+close — and that weaker contract is asserted for every engine that offers
+the schedule.
+
+A small seed sweep runs in tier-1; the wide sweep is marked ``slow``
+(``--run-slow``).  See ``tests/README.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chordality.maximality import addable_edges
+from repro.chordality.recognition import is_chordal
+from repro.core.extract import ENGINES, VARIANTS, extract_maximal_chordal_subgraph
+from repro.core.procpool import ProcessPool, process_max_chordal
+from repro.core.superstep import superstep_max_chordal
+from repro.graph.generators.chordal import partial_ktree, random_chordal
+from repro.graph.generators.random import gnp_random_graph
+from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
+
+#: name -> seeded generator; diverse shapes, small enough for a full sweep.
+GENERATORS = {
+    "gnp": lambda s: gnp_random_graph(28, 0.18, seed=s),
+    "rmat_er": lambda s: rmat_er(7, seed=s),
+    "rmat_g": lambda s: rmat_g(7, seed=s),
+    "rmat_b": lambda s: rmat_b(7, seed=s),
+    "chordal": lambda s: random_chordal(24, 0.3, seed=s),
+    "partial_ktree": lambda s: partial_ktree(24, 3, 0.7, seed=s),
+}
+
+TIER1_SEEDS = (0, 1, 2)
+WIDE_SEEDS = tuple(range(3, 15))
+
+ASYNC_ENGINES = ("superstep", "threaded", "reference")
+
+
+def _assert_sync_engines_identical(maker, seed: int) -> None:
+    graph = maker(seed)
+    baseline = extract_maximal_chordal_subgraph(
+        graph, engine="superstep", schedule="synchronous"
+    ).edges
+    for engine in ENGINES:
+        for variant in VARIANTS:
+            result = extract_maximal_chordal_subgraph(
+                graph,
+                engine=engine,
+                variant=variant,
+                schedule="synchronous",
+                num_threads=3,
+                num_workers=2,
+            )
+            assert np.array_equal(result.edges, baseline), (
+                engine,
+                variant,
+                seed,
+            )
+
+
+def _assert_async_run_valid(maker, seed: int, engine: str, variant: str) -> None:
+    graph = maker(seed)
+    result = extract_maximal_chordal_subgraph(
+        graph,
+        engine=engine,
+        variant=variant,
+        schedule="asynchronous",
+        num_threads=3,
+        maximalize=True,
+    )
+    # Chordal, certified maximal after the completion pass, and the gap the
+    # pass had to close is bounded (a blown bound means the engine is
+    # discarding far more than the benign snapshot race can explain).
+    assert is_chordal(result.subgraph), (engine, variant, seed)
+    assert addable_edges(graph, result.subgraph, limit=1) == []
+    assert result.maximality_gap <= max(4, result.num_chordal_edges // 2), (
+        engine,
+        variant,
+        seed,
+        result.maximality_gap,
+    )
+    # Queue budget: the run fitted the paper's max_degree + 2 iteration bound.
+    assert result.num_iterations <= graph.max_degree() + 2
+
+
+@pytest.mark.parametrize("seed", TIER1_SEEDS)
+@pytest.mark.parametrize("gen", sorted(GENERATORS))
+def test_sync_all_engines_identical(gen, seed):
+    _assert_sync_engines_identical(GENERATORS[gen], seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", WIDE_SEEDS)
+@pytest.mark.parametrize("gen", sorted(GENERATORS))
+def test_sync_all_engines_identical_wide(gen, seed):
+    _assert_sync_engines_identical(GENERATORS[gen], seed)
+
+
+@pytest.mark.parametrize("seed", TIER1_SEEDS)
+@pytest.mark.parametrize("engine", ASYNC_ENGINES)
+def test_async_runs_chordal_and_gap_bounded(engine, seed):
+    for gen in ("gnp", "rmat_b"):
+        for variant in VARIANTS:
+            _assert_async_run_valid(GENERATORS[gen], seed, engine, variant)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", WIDE_SEEDS)
+@pytest.mark.parametrize("engine", ASYNC_ENGINES)
+def test_async_runs_chordal_and_gap_bounded_wide(engine, seed):
+    for gen in sorted(GENERATORS):
+        for variant in VARIANTS:
+            _assert_async_run_valid(GENERATORS[gen], seed, engine, variant)
+
+
+class TestKernelLoopAgreement:
+    """The vectorized kernel path and the historical pair loop are the same
+    synchronous engine — rows and queue sizes must match exactly."""
+
+    @pytest.mark.parametrize("seed", TIER1_SEEDS)
+    @pytest.mark.parametrize("gen", sorted(GENERATORS))
+    def test_rows_and_queues_identical(self, gen, seed):
+        graph = GENERATORS[gen](seed)
+        loop_edges, loop_qs, _ = superstep_max_chordal(
+            graph, schedule="synchronous", use_kernels=False
+        )
+        vec_edges, vec_qs, _ = superstep_max_chordal(
+            graph, schedule="synchronous", use_kernels=True
+        )
+        assert loop_qs == vec_qs
+        assert np.array_equal(loop_edges, vec_edges)
+
+    def test_kernels_refuse_trace(self):
+        with pytest.raises(ValueError, match="collect_trace"):
+            superstep_max_chordal(
+                gnp_random_graph(10, 0.3, seed=0),
+                schedule="synchronous",
+                use_kernels=True,
+                collect_trace=True,
+            )
+
+
+class TestProcessEngineContract:
+    def test_async_schedule_rejected(self):
+        g = gnp_random_graph(10, 0.3, seed=0)
+        with pytest.raises(ValueError, match="synchronous"):
+            process_max_chordal(g, schedule="asynchronous")
+        with pytest.raises(ValueError, match="synchronous"):
+            extract_maximal_chordal_subgraph(
+                g, engine="process", schedule="asynchronous"
+            )
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            process_max_chordal(gnp_random_graph(5, 0.5, seed=0), num_workers=0)
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError, match="variant"):
+            process_max_chordal(gnp_random_graph(5, 0.5, seed=0), variant="turbo")
+
+    def test_more_workers_than_vertices(self):
+        g = gnp_random_graph(6, 0.6, seed=1)
+        serial, qs, _ = superstep_max_chordal(g, schedule="synchronous")
+        edges, pqs = process_max_chordal(g, num_workers=8)
+        assert np.array_equal(edges, serial)
+        assert pqs == qs
+
+    def test_pool_reuse_is_deterministic(self):
+        g = rmat_er(7, seed=5)
+        with ProcessPool(g, num_workers=2) as pool:
+            first = pool.extract()
+            second = pool.extract()
+        assert np.array_equal(first[0], second[0])
+        assert first[1] == second[1]
+
+    def test_closed_pool_rejected(self):
+        g = rmat_er(7, seed=5)
+        pool = ProcessPool(g, num_workers=2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.extract()
+
+    def test_trivial_graphs(self):
+        from repro.graph.builder import build_graph
+
+        for g in (build_graph(0, []), build_graph(7, [])):
+            edges, qs = process_max_chordal(g, num_workers=2)
+            assert edges.shape == (0, 2)
+            assert qs == []
+
+    def test_iteration_budget_enforced(self):
+        from repro.errors import ConvergenceError
+        from repro.graph.generators.classic import complete_graph
+
+        g = complete_graph(8)
+        with pytest.raises(ConvergenceError):
+            process_max_chordal(g, num_workers=2, max_iterations=2)

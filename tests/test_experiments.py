@@ -42,6 +42,7 @@ class TestRegistry:
         expected = {
             "table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "chordal_fraction", "maximality_gap", "ablation",
+            "scaling_measured",
         }
         assert set(list_experiments()) == expected
 
