@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Record the batch-throughput baseline (BENCH_batch.json).
+
+Measures graphs/sec over a batch of R-MAT graphs with the ``process``
+engine two ways:
+
+* ``extract_many`` — one persistent :class:`repro.core.procpool
+  .ProcessPool` (worker team + shared-memory arena spawned once, rebound
+  per graph);
+* the naive loop — one :func:`repro.core.extract
+  .extract_maximal_chordal_subgraph` call per graph, each spawning and
+  tearing down its own pool.
+
+The ratio is the amortisation win of the batch pipeline; both paths are
+verified to produce identical edge sets before timing.  Re-record (on a
+quiet machine) after intentional changes to the pool or kernels:
+
+    PYTHONPATH=src python benchmarks/record_batch_baseline.py
+    # or: repro bench --record-batch
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+BATCH_PATH = Path(__file__).resolve().parent / "BENCH_batch.json"
+
+#: Batch composition: the paper's three R-MAT families, round-robin.
+NUM_GRAPHS = 24
+SCALE = 8
+NUM_WORKERS = 2
+REPEATS = 3
+
+
+def build_graphs() -> list:
+    from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
+
+    families = (rmat_er, rmat_g, rmat_b)
+    return [families[i % 3](SCALE, seed=i) for i in range(NUM_GRAPHS)]
+
+
+def record(path: Path = BATCH_PATH, repeats: int = REPEATS) -> dict:
+    import numpy as np
+
+    from repro.core.extract import extract_many, extract_maximal_chordal_subgraph
+    from repro.util.timing import median_of
+
+    graphs = build_graphs()
+
+    def run_batch():
+        return extract_many(graphs, engine="process", num_workers=NUM_WORKERS)
+
+    def run_percall():
+        return [
+            extract_maximal_chordal_subgraph(
+                g, engine="process", schedule="synchronous", num_workers=NUM_WORKERS
+            )
+            for g in graphs
+        ]
+
+    batch_results = run_batch()
+    percall_results = run_percall()
+    for a, b in zip(batch_results, percall_results):
+        assert np.array_equal(a.edges, b.edges), "batch/per-call edge sets diverged"
+
+    batch_seconds = median_of(run_batch, repeats)
+    percall_seconds = median_of(run_percall, repeats)
+    payload = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host_cores": os.cpu_count(),
+        "num_graphs": NUM_GRAPHS,
+        "scale": SCALE,
+        "num_workers": NUM_WORKERS,
+        "repeats": repeats,
+        "batch_seconds": batch_seconds,
+        "percall_seconds": percall_seconds,
+        "batch_graphs_per_sec": NUM_GRAPHS / batch_seconds,
+        "percall_graphs_per_sec": NUM_GRAPHS / percall_seconds,
+        "speedup": percall_seconds / batch_seconds,
+    }
+    print(
+        f"extract_many        : {batch_seconds:8.3f} s "
+        f"({payload['batch_graphs_per_sec']:7.1f} graphs/s)"
+    )
+    print(
+        f"per-call pool spawn : {percall_seconds:8.3f} s "
+        f"({payload['percall_graphs_per_sec']:7.1f} graphs/s)"
+    )
+    print(f"speedup             : {payload['speedup']:8.2f} x")
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    record()

@@ -21,10 +21,9 @@ Run:
 from __future__ import annotations
 
 import argparse
-import time
 
-from repro import ProcessPool, extract_maximal_chordal_subgraph
-from repro.core.superstep import superstep_max_chordal
+from repro import extract_maximal_chordal_subgraph
+from repro.experiments.scaling_measured import measure_engines
 from repro.experiments.testsuite import rmat_spec, build_graph_cached
 from repro.machine import CrayXMTModel, OpteronModel, speedup_curve
 from repro.util.timing import format_seconds
@@ -39,21 +38,19 @@ def measured_scaling(graph, workers=MEASURED_SWEEP) -> None:
 
     Every configuration below returns the identical edge set — the
     snapshot semantics make worker count invisible — so the only thing
-    that varies is time.
+    that varies is time.  Delegates to the one measurement protocol
+    (``repro.experiments.scaling_measured.measure_engines``) shared with
+    ``benchmarks/bench_scaling.py`` and the registered experiment.
     """
     print("--- measured on this host: engine='process' (synchronous) ---")
-    t0 = time.perf_counter()
-    superstep_max_chordal(graph, schedule="synchronous", use_kernels=False)
-    t_loop = time.perf_counter() - t0
-    print(f"serial Python-loop engine: {format_seconds(t_loop)}")
+    m = measure_engines(graph, workers=workers)
+    print(f"serial Python-loop engine: {format_seconds(m['loop'])}")
+    print(f"vectorized kernel engine : {format_seconds(m['kernels'])} "
+          f"({m['speedup']['kernels']:.1f}x vs loop)")
     for w in workers:
-        with ProcessPool(graph, num_workers=w) as pool:
-            pool.extract()  # warm-up: fault in the shared segment
-            t0 = time.perf_counter()
-            pool.extract()
-            t = time.perf_counter() - t0
-        print(f"process engine, {w} worker(s): {format_seconds(t)} "
-              f"({t_loop / t:.1f}x vs loop)")
+        print(f"process engine, {w} worker(s): "
+              f"{format_seconds(m['process'][w])} "
+              f"({m['speedup'][f'process@{w}']:.1f}x vs loop)")
 
 
 def main() -> None:

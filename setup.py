@@ -1,13 +1,17 @@
 """Thin setup.py shim.
 
-The environment this repository targets can be fully offline; without the
-``wheel`` package, PEP 660 editable installs (``pip install -e .``) fail in
-setuptools' ``bdist_wheel`` step.  This shim enables the legacy editable
-path::
+All real metadata lives in ``pyproject.toml`` ([project] table: name,
+version, dependencies, the ``repro`` / ``repro-experiments`` console
+scripts, pytest config).  This shim exists for fully-offline
+environments: PEP 660 editable installs (``pip install -e .``) require
+the ``wheel`` package for setuptools' ``bdist_wheel`` step, so where
+``wheel`` is unavailable use the legacy develop path instead::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    pip install -e . --no-build-isolation   # needs wheel installed
+    python setup.py develop                 # fully offline fallback
 
-All real metadata lives in ``pyproject.toml``.
+Both read the metadata from ``pyproject.toml`` and install the console
+scripts.
 """
 
 from setuptools import setup

@@ -3,10 +3,13 @@
 A complete reproduction of *"A Novel Multithreaded Algorithm for Extracting
 Maximal Chordal Subgraphs"* (Halappanavar, Feo, Dempsey, Ali, Bhowmick —
 ICPP 2012), including the graph substrate, the paper's test-suite
-generators, the serial/threaded extraction engines, the Dearing–Shier–
-Warner and distributed baselines, chordality verification, machine models
-for the Cray XMT and AMD Opteron platforms, and a harness regenerating
-every table and figure of the paper's evaluation.
+generators, the serial/threaded/process extraction engines, the batch
+pipeline (:func:`extract_many` over a persistent process pool), graph-file
+IO (:func:`load_graph` / :func:`save_graph` for MatrixMarket, SNAP, METIS,
+gzip edge lists, npz), the Dearing–Shier–Warner and distributed baselines,
+chordality verification, machine models for the Cray XMT and AMD Opteron
+platforms, and a harness regenerating every table and figure of the
+paper's evaluation.
 
 Quickstart
 ----------
@@ -16,12 +19,14 @@ Quickstart
 >>> 0 < result.num_chordal_edges <= g.num_edges
 True
 
-See ``README.md`` for the full tour and ``DESIGN.md`` for the system map.
+From the shell, the same workflow is ``repro generate`` / ``repro
+extract`` (see :mod:`repro.cli`).  ``README.md`` has the full tour.
 """
 
 from repro.core import (
     ChordalResult,
     extract_maximal_chordal_subgraph,
+    extract_many,
     reference_max_chordal,
     superstep_max_chordal,
     threaded_max_chordal,
@@ -43,6 +48,8 @@ from repro.graph import (
     edge_subgraph,
     bfs_renumber,
     connected_components,
+    load_graph,
+    save_graph,
 )
 from repro.graph.generators import (
     rmat_er,
@@ -60,6 +67,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ChordalResult",
     "extract_maximal_chordal_subgraph",
+    "extract_many",
     "reference_max_chordal",
     "superstep_max_chordal",
     "threaded_max_chordal",
@@ -77,6 +85,8 @@ __all__ = [
     "edge_subgraph",
     "bfs_renumber",
     "connected_components",
+    "load_graph",
+    "save_graph",
     "rmat_er",
     "rmat_g",
     "rmat_b",

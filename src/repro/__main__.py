@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point (the unified CLI, :mod:`repro.cli`)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

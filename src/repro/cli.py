@@ -1,0 +1,404 @@
+"""Unified command-line interface: ``python -m repro`` / the ``repro`` script.
+
+The CLI turns the library into a tool: point it at graph files in any
+supported format (see :mod:`repro.graph.io`) and get chordal edge lists
+out, generate the paper's graph families to disk, guard the performance
+baselines, and regenerate the paper's tables and figures.
+
+Subcommands
+-----------
+``extract``
+    File in, maximal chordal edge list out, with every engine/variant/
+    schedule knob of :func:`repro.core.extract.extract_maximal_chordal_
+    subgraph`.  Multiple inputs share one persistent process pool
+    (``--engine process``), i.e. the batch pipeline of
+    :func:`repro.core.extract.extract_many`.
+``generate``
+    Write an R-MAT / random / chordal family graph to file (or stdout).
+``bench``
+    One-command performance guard: runs
+    ``benchmarks/bench_regression_guard.py`` (the 2x kernel-regression
+    gate), or re-records the baselines with ``--record`` /
+    ``--record-batch``.
+``experiments``
+    Delegates to :mod:`repro.experiments.runner` (tables and figures).
+
+Examples
+--------
+::
+
+    repro generate rmat-b --scale 12 --seed 1 -o graph.mtx
+    repro extract graph.mtx -o chordal.txt --engine process --num-workers 4
+    repro generate rmat-er --scale 8 | repro extract - --quiet
+    repro extract data/*.mtx --out-dir results/ --engine process
+    repro bench
+    repro experiments table1 --scales 8,9
+
+Exit codes: 0 on success, 2 on bad input (malformed graph file, missing
+path), argparse's own exit on unknown flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.core.extract import (
+    ENGINES,
+    SCHEDULES,
+    VARIANTS,
+    extract_maximal_chordal_subgraph,
+)
+from repro.core.procpool import ProcessPool
+from repro.errors import ReproError
+from repro.graph.generators import (
+    barabasi_albert,
+    gnm_random_graph,
+    gnp_random_graph,
+    interval_graph,
+    ktree,
+    partial_ktree,
+    random_chordal,
+    rmat_b,
+    rmat_er,
+    rmat_g,
+)
+from repro.graph.io import (
+    FORMATS,
+    load_graph,
+    read_edgelist,
+    read_metis,
+    read_mtx,
+    read_snap,
+    save_graph,
+    strip_format_extension,
+    write_edgelist,
+    write_metis,
+    write_mtx,
+)
+from repro.util.timing import Timer
+
+__all__ = ["main", "build_parser"]
+
+#: family name -> (builder from parsed args, knobs used) for ``generate``.
+_FAMILIES = {
+    "rmat-er": (lambda a: rmat_er(a.scale, seed=a.seed, edge_factor=a.edge_factor), "--scale/--edge-factor"),
+    "rmat-g": (lambda a: rmat_g(a.scale, seed=a.seed, edge_factor=a.edge_factor), "--scale/--edge-factor"),
+    "rmat-b": (lambda a: rmat_b(a.scale, seed=a.seed, edge_factor=a.edge_factor), "--scale/--edge-factor"),
+    "gnp": (lambda a: gnp_random_graph(a.n, a.p, seed=a.seed), "--n/--p"),
+    "gnm": (lambda a: gnm_random_graph(a.n, a.m, seed=a.seed), "--n/--m"),
+    "ba": (lambda a: barabasi_albert(a.n, a.m, seed=a.seed), "--n/--m"),
+    "ktree": (lambda a: ktree(a.n, a.k, seed=a.seed), "--n/--k"),
+    "partial-ktree": (lambda a: partial_ktree(a.n, a.k, a.keep, seed=a.seed), "--n/--k/--keep"),
+    "random-chordal": (lambda a: random_chordal(a.n, a.density, seed=a.seed), "--n/--density"),
+    "interval": (lambda a: interval_graph(a.n, seed=a.seed), "--n"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Maximal chordal subgraph extraction "
+        "(Halappanavar et al., ICPP 2012) — batch pipeline and tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ex = sub.add_parser(
+        "extract",
+        help="extract maximal chordal subgraphs from graph files",
+        description="Read graph file(s), run Algorithm 1, write the chordal "
+        "edge set.  Multiple inputs share one persistent worker pool with "
+        "--engine process.",
+    )
+    ex.add_argument(
+        "inputs", nargs="+", help="input graph file(s); '-' reads an edge list from stdin"
+    )
+    ex.add_argument(
+        "-o", "--output", default="-", help="output path for a single input ('-' = stdout)"
+    )
+    ex.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory for per-input outputs (<stem>.chordal.<ext>); "
+        "required with multiple inputs",
+    )
+    ex.add_argument(
+        "--input-format",
+        choices=FORMATS,
+        default=None,
+        help="input format (default: auto-detect per file)",
+    )
+    ex.add_argument(
+        "--output-format",
+        choices=("edgelist", "mtx", "metis", "npz"),
+        default=None,
+        help="output format (default: by output extension, else edgelist)",
+    )
+    ex.add_argument("--engine", choices=ENGINES, default="superstep")
+    ex.add_argument("--variant", choices=VARIANTS, default="optimized")
+    ex.add_argument(
+        "--schedule",
+        choices=SCHEDULES,
+        default=None,
+        help="default: synchronous for --engine process, asynchronous otherwise",
+    )
+    ex.add_argument("--num-workers", type=int, default=4, help="process-engine workers")
+    ex.add_argument("--num-threads", type=int, default=4, help="threaded-engine threads")
+    ex.add_argument(
+        "--renumber", choices=("bfs",), default=None, help="BFS-renumber before extraction"
+    )
+    ex.add_argument(
+        "--stitch", action="store_true", help="bridge disconnected output components"
+    )
+    ex.add_argument(
+        "--maximalize",
+        action="store_true",
+        help="run the completion pass (certified maximal output)",
+    )
+    ex.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-graph stats on stderr"
+    )
+
+    gen = sub.add_parser(
+        "generate",
+        help="generate a graph family to file",
+        description="Write one graph of a named family.  Each family reads "
+        "its own knobs: " + "; ".join(f"{k}: {v[1]}" for k, v in _FAMILIES.items()),
+    )
+    gen.add_argument("family", choices=sorted(_FAMILIES))
+    gen.add_argument("-o", "--output", default="-", help="output path ('-' = stdout edge list)")
+    gen.add_argument(
+        "--format",
+        choices=("edgelist", "mtx", "metis", "npz"),
+        default=None,
+        help="output format (default: by extension, else edgelist)",
+    )
+    gen.add_argument("--scale", type=int, default=10, help="R-MAT scale (|V| = 2^scale)")
+    gen.add_argument("--edge-factor", type=int, default=8, help="R-MAT |E| = factor * |V|")
+    gen.add_argument("--n", type=int, default=128, help="vertex count (non-R-MAT families)")
+    gen.add_argument("--p", type=float, default=0.1, help="gnp edge probability")
+    gen.add_argument("--m", type=int, default=3, help="gnm edge count / ba attachment")
+    gen.add_argument("--k", type=int, default=3, help="(partial-)ktree clique size")
+    gen.add_argument("--keep", type=float, default=0.5, help="partial-ktree keep fraction")
+    gen.add_argument("--density", type=float, default=0.3, help="random-chordal density")
+    gen.add_argument("--seed", type=int, default=None, help="RNG seed")
+
+    be = sub.add_parser(
+        "bench",
+        help="run the kernel regression guard / record baselines",
+        description="Without flags, runs benchmarks/bench_regression_guard.py "
+        "(fails if any hot kernel is >2x slower than BENCH_kernels.json). "
+        "--record re-records the kernel baseline; --record-batch records the "
+        "extract_many batch-throughput baseline (BENCH_batch.json).",
+    )
+    be.add_argument("--record", action="store_true", help="re-record BENCH_kernels.json")
+    be.add_argument(
+        "--record-batch", action="store_true", help="record BENCH_batch.json"
+    )
+    be.add_argument(
+        "pytest_args", nargs="*", help="extra arguments forwarded to pytest"
+    )
+
+    exp = sub.add_parser(
+        "experiments",
+        add_help=False,
+        help="regenerate the paper's tables/figures (repro.experiments runner)",
+    )
+    exp.add_argument("rest", nargs=argparse.REMAINDER)
+
+    return parser
+
+
+def _repo_root() -> Path:
+    """Source-checkout root (two levels above this file's package dir)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _load_bench_module(name: str):
+    """Import a ``benchmarks/`` script by path (the directory is not a package)."""
+    import importlib.util
+
+    bench_dir = _repo_root() / "benchmarks"
+    path = bench_dir / f"{name}.py"
+    if not path.exists():
+        raise ReproError(
+            f"{path} not found — the bench subcommand needs a source checkout "
+            "(benchmarks/ is not installed with the package)"
+        )
+    if str(bench_dir) not in sys.path:
+        sys.path.insert(0, str(bench_dir))
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _read_stdin(fmt: str | None):
+    """Read a graph from stdin in the requested text format."""
+    readers = {
+        "edgelist": read_edgelist,
+        "mtx": read_mtx,
+        "metis": read_metis,
+        "snap": lambda fh: read_snap(fh)[0],
+    }
+    fmt = fmt or "edgelist"
+    if fmt not in readers:
+        raise ReproError(f"format {fmt!r} cannot be read from stdin (needs a file)")
+    return readers[fmt](sys.stdin)
+
+
+def _write_stdout(graph, fmt: str | None) -> None:
+    """Write a graph to stdout in a text format (binary npz needs a file)."""
+    writers = {
+        "edgelist": write_edgelist,
+        "mtx": write_mtx,
+        "metis": write_metis,
+    }
+    fmt = fmt or "edgelist"
+    if fmt not in writers:
+        raise ReproError(f"format {fmt!r} cannot be written to stdout (needs a file)")
+    writers[fmt](graph, sys.stdout)
+
+
+def _write_result(result, target: str, out_format: str | None) -> None:
+    if target == "-":
+        _write_stdout(result.subgraph, out_format)
+    else:
+        save_graph(result.subgraph, target, format=out_format)
+
+
+def _out_dir_target(out_dir: Path, source: str, out_ext: str) -> str:
+    """Per-input output path: ``<out_dir>/<input stem>.chordal<out_ext>``."""
+    stem = strip_format_extension(Path(source).name) if source != "-" else "stdin"
+    return str(out_dir / f"{stem}.chordal{out_ext}")
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    if len(args.inputs) > 1 and not args.out_dir:
+        print(
+            "repro extract: error: multiple inputs require --out-dir",
+            file=sys.stderr,
+        )
+        return 2
+    schedule = args.schedule or (
+        "synchronous" if args.engine == "process" else "asynchronous"
+    )
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    out_ext = {"mtx": ".mtx", "metis": ".metis", "npz": ".npz"}.get(
+        args.output_format or "edgelist", ".txt"
+    )
+    if out_dir:
+        targets = [_out_dir_target(out_dir, source, out_ext) for source in args.inputs]
+        seen: dict[str, str] = {}
+        for source, target in zip(args.inputs, targets):
+            if target in seen:
+                print(
+                    f"repro extract: error: inputs {seen[target]!r} and "
+                    f"{source!r} both map to {target!r}; rename one input",
+                    file=sys.stderr,
+                )
+                return 2
+            seen[target] = source
+    # One pool for the whole batch: spawned on first use, rebound per graph.
+    pool = ProcessPool(num_workers=args.num_workers) if args.engine == "process" else None
+    try:
+        for source in args.inputs:
+            if source == "-":
+                graph, name = _read_stdin(args.input_format), "<stdin>"
+            else:
+                graph, name = load_graph(source, format=args.input_format), source
+            with Timer() as timer:
+                result = extract_maximal_chordal_subgraph(
+                    graph,
+                    engine=args.engine,
+                    variant=args.variant,
+                    schedule=schedule,
+                    num_threads=args.num_threads,
+                    num_workers=args.num_workers,
+                    renumber=args.renumber,
+                    stitch=args.stitch,
+                    maximalize=args.maximalize,
+                    pool=pool,
+                )
+            target = (
+                _out_dir_target(out_dir, source, out_ext) if out_dir else args.output
+            )
+            _write_result(result, target, args.output_format)
+            if not args.quiet:
+                print(
+                    f"{name}: n={graph.num_vertices} m={graph.num_edges} "
+                    f"chordal={result.num_chordal_edges} "
+                    f"({100 * result.chordal_fraction:.1f}%) "
+                    f"iterations={result.num_iterations} "
+                    f"engine={args.engine} [{timer.elapsed:.3f}s]",
+                    file=sys.stderr,
+                )
+    finally:
+        if pool is not None:
+            pool.close()
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = _FAMILIES[args.family][0](args)
+    if args.output == "-":
+        _write_stdout(graph, args.format)
+    else:
+        save_graph(graph, args.output, format=args.format)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.record:
+        _load_bench_module("record_baseline").record()
+        return 0
+    if args.record_batch:
+        _load_bench_module("record_batch_baseline").record()
+        return 0
+    guard = _repo_root() / "benchmarks" / "bench_regression_guard.py"
+    if not guard.exists():
+        raise ReproError(
+            f"{guard} not found — the bench subcommand needs a source checkout"
+        )
+    import pytest
+
+    return pytest.main([str(guard), "-q", *args.pytest_args])
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as experiments_main
+
+    return experiments_main(args.rest)
+
+
+_COMMANDS = {
+    "extract": _cmd_extract,
+    "generate": _cmd_generate,
+    "bench": _cmd_bench,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed the pipe early (e.g. `repro ... | head`) —
+        # conventional success; swap stdout for devnull so the interpreter's
+        # shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ReproError, ValueError, OSError) as exc:
+        # ValueError covers argparse-valid but semantically bad knob
+        # combinations the library rejects (e.g. process + asynchronous).
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ semantics (see DESIGN.md §5):
 from repro.core.extract import (
     ChordalResult,
     extract_maximal_chordal_subgraph,
+    extract_many,
     VARIANTS,
     ENGINES,
     SCHEDULES,
@@ -36,6 +37,7 @@ from repro.core.instrument import WorkTrace, IterationTrace, CostModelParams
 __all__ = [
     "ChordalResult",
     "extract_maximal_chordal_subgraph",
+    "extract_many",
     "maximalize_chordal_edges",
     "VARIANTS",
     "ENGINES",

@@ -1,15 +1,23 @@
-"""Public entry point: :func:`extract_maximal_chordal_subgraph`.
+"""Public entry points: :func:`extract_maximal_chordal_subgraph` and the
+batch pipeline :func:`extract_many`.
 
-Dispatches between the reference, serial-superstep, threaded and
-process-parallel engines, optionally BFS-renumbers the input first (the
-paper's recipe for guaranteeing a connected — hence provably maximal —
-chordal subgraph on connected inputs), optionally stitches disconnected
-output components, and returns a :class:`ChordalResult` bundling the edge
-set with run metadata.
+The single-graph entry point dispatches between the reference,
+serial-superstep, threaded and process-parallel engines, optionally
+BFS-renumbers the input first (the paper's recipe for guaranteeing a
+connected — hence provably maximal — chordal subgraph on connected
+inputs), optionally stitches disconnected output components, and returns a
+:class:`ChordalResult` bundling the edge set with run metadata.
+
+:func:`extract_many` runs a sequence of graphs through the same knobs,
+amortising the expensive part of the ``process`` engine — worker spawn and
+shared-segment setup — across the whole batch by holding one rebindable
+:class:`~repro.core.procpool.ProcessPool` (see ``benchmarks/BENCH_batch
+.json`` for the measured batch-vs-per-call throughput gap).
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,7 +25,7 @@ import numpy as np
 from repro.core.connect import stitch_components
 from repro.core.instrument import CostModelParams, WorkTrace
 from repro.core.maximalize import maximalize_chordal_edges
-from repro.core.procpool import process_max_chordal
+from repro.core.procpool import ProcessPool, process_max_chordal
 from repro.core.reference import reference_max_chordal
 from repro.core.superstep import superstep_max_chordal
 from repro.core.threaded import threaded_max_chordal
@@ -28,6 +36,7 @@ from repro.graph.ops import edge_subgraph
 __all__ = [
     "ChordalResult",
     "extract_maximal_chordal_subgraph",
+    "extract_many",
     "VARIANTS",
     "ENGINES",
     "SCHEDULES",
@@ -124,6 +133,7 @@ def extract_maximal_chordal_subgraph(
     collect_trace: bool = False,
     cost_params: CostModelParams | None = None,
     max_iterations: int | None = None,
+    pool: ProcessPool | None = None,
 ) -> ChordalResult:
     """Extract a maximal chordal subgraph with Algorithm 1.
 
@@ -173,6 +183,12 @@ def extract_maximal_chordal_subgraph(
         only).
     cost_params / max_iterations:
         Forwarded to the engine.
+    pool:
+        An open :class:`~repro.core.procpool.ProcessPool` to run on
+        (``engine="process"`` only).  The pool is rebound to this graph
+        and left open, so repeated calls share one worker team instead of
+        spawning one per call — :func:`extract_many` manages this
+        automatically.
 
     Returns
     -------
@@ -193,6 +209,8 @@ def extract_maximal_chordal_subgraph(
             "engine='process' supports only schedule='synchronous'; "
             "use the superstep or threaded engine for asynchronous runs"
         )
+    if pool is not None and engine != "process":
+        raise ValueError("pool= is only meaningful with engine='process'")
 
     work_graph = graph
     old_of_new: np.ndarray | None = None
@@ -220,13 +238,18 @@ def extract_maximal_chordal_subgraph(
             max_iterations=max_iterations,
         )
     elif engine == "process":
-        edges, queue_sizes = process_max_chordal(
-            work_graph,
-            num_workers=num_workers,
-            variant=variant,
-            schedule=schedule,
-            max_iterations=max_iterations,
-        )
+        if pool is not None:
+            edges, queue_sizes = pool.extract(
+                work_graph, max_iterations=max_iterations
+            )
+        else:
+            edges, queue_sizes = process_max_chordal(
+                work_graph,
+                num_workers=num_workers,
+                variant=variant,
+                schedule=schedule,
+                max_iterations=max_iterations,
+            )
     else:
         # The reference engine has no Opt/Unopt cost asymmetry; the two
         # variants differ only in cost, so the edge set is identical.
@@ -259,3 +282,78 @@ def extract_maximal_chordal_subgraph(
         stitched_bridges=stitched,
         maximality_gap=gap,
     )
+
+
+def extract_many(
+    graphs: Iterable[CSRGraph],
+    *,
+    engine: str = "superstep",
+    variant: str = "optimized",
+    schedule: str | None = None,
+    num_threads: int = 4,
+    num_workers: int = 4,
+    renumber: str | None = None,
+    stitch: bool = False,
+    maximalize: bool = False,
+    max_iterations: int | None = None,
+    pool: ProcessPool | None = None,
+) -> list[ChordalResult]:
+    """Extract maximal chordal subgraphs from a batch of graphs.
+
+    Semantically equivalent to calling
+    :func:`extract_maximal_chordal_subgraph` once per graph with the same
+    keyword arguments — every result is bit-identical to its single-call
+    counterpart — but with the per-call setup amortised: for
+    ``engine="process"`` one persistent
+    :class:`~repro.core.procpool.ProcessPool` (worker team + shared-memory
+    arena) is spawned up front, rebound to each graph in turn, and torn
+    down once at the end.  ``benchmarks/record_batch_baseline.py`` records
+    the resulting throughput gap as ``BENCH_batch.json``.
+
+    Parameters
+    ----------
+    graphs:
+        Any iterable of :class:`~repro.graph.csr.CSRGraph` (consumed
+        lazily, but all results are materialised into the returned list).
+    schedule:
+        ``None`` (default) picks the engine's natural schedule:
+        ``"synchronous"`` for the process engine (its only option),
+        ``"asynchronous"`` otherwise — matching the single-call default.
+    pool:
+        An existing open pool to reuse (``engine="process"`` only); the
+        caller keeps ownership and must close it.  With ``pool=None`` a
+        temporary pool is created and closed internally.
+    engine / variant / num_threads / num_workers / renumber / stitch /
+    maximalize / max_iterations:
+        As in :func:`extract_maximal_chordal_subgraph`, applied to every
+        graph.
+
+    Returns
+    -------
+    list of :class:`ChordalResult`, in input order.
+    """
+    if schedule is None:
+        schedule = "synchronous" if engine == "process" else "asynchronous"
+    own_pool = engine == "process" and pool is None
+    if own_pool:
+        pool = ProcessPool(num_workers=num_workers)
+    try:
+        return [
+            extract_maximal_chordal_subgraph(
+                g,
+                engine=engine,
+                variant=variant,
+                schedule=schedule,
+                num_threads=num_threads,
+                num_workers=num_workers,
+                renumber=renumber,
+                stitch=stitch,
+                maximalize=maximalize,
+                max_iterations=max_iterations,
+                pool=pool if engine == "process" else None,
+            )
+            for g in graphs
+        ]
+    finally:
+        if own_pool:
+            pool.close()

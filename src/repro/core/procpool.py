@@ -29,6 +29,25 @@ Because every subset test is evaluated against the same barrier snapshot
 regardless of worker count or timing, the edge set is **bit-identical** to
 the serial synchronous superstep engine for any number of workers.
 
+Batch amortisation
+------------------
+The pool is *rebindable*: one team of workers and one shared segment serve
+any number of graphs (:meth:`ProcessPool.bind` /
+``pool.extract(next_graph)``), which is what
+:func:`repro.core.extract.extract_many` builds on.  The segment is laid
+out for *capacities* rather than one graph's exact sizes, with per-graph
+sizes published through the control block; graphs that fit the current
+capacities rebind with zero process churn.  A graph that outgrows the
+capacities triggers one of two growth paths:
+
+* the new (doubled) layout still fits the over-allocated segment — the
+  coordinator bumps a layout generation in the control block and every
+  worker remaps its views in place at the next superstep
+  (:meth:`repro.parallel.shm.SharedArrayBlock.remap`); the team survives;
+* the segment itself is too small — the team is torn down and restarted
+  over a fresh, geometrically larger segment (amortised O(log) restarts
+  over any batch).
+
 The asynchronous schedule is inherently a live-state sweep and is not
 offered here (requesting it raises ``ValueError``); use the ``superstep``
 or ``threaded`` engines for paper-matching asynchronous runs.
@@ -53,45 +72,60 @@ from repro.core.kernels import (
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.parallel.partition import balanced_chunks
-from repro.parallel.shm import SharedArrayBlock
+from repro.parallel.shm import SharedArrayBlock, layout_size
 
 __all__ = ["ProcessPool", "process_max_chordal"]
 
-# Control-block slots (int64 each).
+# Control-block slots (int64 each).  The control array is the first entry
+# of every spec, so it sits at offset 0 of the segment across remaps and
+# is the one layout-independent channel between coordinator and workers.
 _CTRL_CMD = 0
 _CTRL_NKEYS = 1
 _CTRL_ERROR = 2
 _CTRL_N = 3
+_CTRL_GEN = 4
+_CTRL_N_CAP = 5
+_CTRL_NNZ_CAP = 6
+_CTRL_ARENA_CAP = 7
 _CTRL_SLOTS = 8
 
 _CMD_RUN = 0
 _CMD_SHUTDOWN = 1
 
 
-def _build_spec(n: int, nnz: int, cap: int, num_workers: int) -> dict[str, tuple[str, tuple[int, ...]]]:
-    """Shared-segment layout for a graph with ``n`` vertices, ``nnz`` arcs
-    and arena capacity ``cap`` (== number of undirected edges)."""
+def _build_spec(
+    n_cap: int, nnz_cap: int, arena_cap: int, num_workers: int
+) -> dict[str, tuple[str, tuple[int, ...]]]:
+    """Shared-segment layout with room for any graph of at most ``n_cap``
+    vertices, ``nnz_cap`` arcs and ``arena_cap`` arena slots (== undirected
+    edges).  The bound graph's actual sizes live in the control block;
+    every array is used as a prefix."""
     return {
         "control": ("int64", (_CTRL_SLOTS,)),
         "cuts": ("int64", (num_workers + 1,)),
-        "indptr": ("int64", (n + 1,)),
-        "indices": ("int64", (nnz,)),
-        "lower": ("int64", (n,)),
-        "offsets": ("int64", (n + 1,)),
-        "arena": ("int64", (cap,)),
-        "keys": ("int64", (cap,)),
-        "counts": ("int64", (n,)),
-        "snapshot": ("int64", (n,)),
-        "cursor": ("int64", (n,)),
-        "lp": ("int64", (n,)),
-        "active": ("int64", (n,)),
-        "parents": ("int64", (n,)),
-        "ok": ("uint8", (n,)),
+        "indptr": ("int64", (n_cap + 1,)),
+        "indices": ("int64", (nnz_cap,)),
+        "lower": ("int64", (n_cap,)),
+        "offsets": ("int64", (n_cap + 1,)),
+        "arena": ("int64", (arena_cap,)),
+        "keys": ("int64", (arena_cap,)),
+        "counts": ("int64", (n_cap,)),
+        "snapshot": ("int64", (n_cap,)),
+        "cursor": ("int64", (n_cap,)),
+        "lp": ("int64", (n_cap,)),
+        "active": ("int64", (n_cap,)),
+        "parents": ("int64", (n_cap,)),
+        "ok": ("uint8", (n_cap,)),
     }
 
 
 def _run_slice(tid: int, a: dict[str, np.ndarray]) -> None:
-    """One worker's share of one superstep (pure kernel calls)."""
+    """One worker's share of one superstep (pure kernel calls).
+
+    All arrays are capacity-sized; per-vertex indexing (``ws`` / ``vs`` are
+    ids of the bound graph) and the ``nkeys`` prefix keep every access
+    inside the bound graph's live region.
+    """
     ctrl = a["control"]
     n = int(ctrl[_CTRL_N])
     nkeys = int(ctrl[_CTRL_NKEYS])
@@ -109,19 +143,35 @@ def _run_slice(tid: int, a: dict[str, np.ndarray]) -> None:
     advance_parents(a["indptr"], a["indices"], a["lower"], a["cursor"], a["lp"], ws)
 
 
-def _worker_main(tid, shm_name, spec, start_barrier, done_barrier) -> None:
-    """Worker loop: wait at the start barrier, run a slice, join the done
-    barrier; repeat until the shutdown command (or the coordinator breaks
-    the barriers — a quiet exit, the coordinator already raised)."""
+def _worker_main(tid, shm_name, caps, num_workers, start_barrier, done_barrier) -> None:
+    """Worker loop: wait at the start barrier, remap if the coordinator
+    published a new layout generation, run a slice, join the done barrier;
+    repeat until the shutdown command (or the coordinator breaks the
+    barriers — a quiet exit, the coordinator already raised)."""
     import threading
 
-    block = SharedArrayBlock.attach(shm_name, spec)
+    block = SharedArrayBlock.attach(shm_name, _build_spec(*caps, num_workers))
     ctrl = block.arrays["control"]
+    # Workers only read/write shared state between the two barriers, while
+    # the coordinator waits — so the generation check below cannot race
+    # with a coordinator-side remap.
+    gen = -1
     try:
         while True:
             start_barrier.wait()
             if int(ctrl[_CTRL_CMD]) == _CMD_SHUTDOWN:
                 return
+            if int(ctrl[_CTRL_GEN]) != gen:
+                gen = int(ctrl[_CTRL_GEN])
+                block.remap(
+                    _build_spec(
+                        int(ctrl[_CTRL_N_CAP]),
+                        int(ctrl[_CTRL_NNZ_CAP]),
+                        int(ctrl[_CTRL_ARENA_CAP]),
+                        num_workers,
+                    )
+                )
+                ctrl = block.arrays["control"]
             try:
                 _run_slice(tid, block.arrays)
             except BaseException:  # noqa: BLE001 - flag forwarded to coordinator
@@ -140,18 +190,51 @@ def _context():
     return mp.get_context("fork" if "fork" in methods else None)
 
 
+def _barrier_agent(req, resp, start, done, timeout) -> None:
+    """Coordinator-side barrier waiter (one daemon thread per team).
+
+    ``multiprocessing`` barriers can block *unboundedly* — beyond any
+    ``wait(timeout)`` — when a participant is killed while holding the
+    barrier's internal condition state, so the coordinator's main thread
+    must never wait on them directly.  It enqueues ``"superstep"`` (start
+    + done barrier) or ``"shutdown"`` (start barrier only; workers exit
+    before the done barrier) requests here and waits on ``resp`` with a
+    real timeout; if this thread wedges, it is simply abandoned (daemon)
+    and the team torn down.  ``None`` retires the agent.
+    """
+    while True:
+        cmd = req.get()
+        if cmd is None:
+            return
+        try:
+            start.wait(timeout=timeout)
+            if cmd == "superstep":
+                done.wait(timeout=timeout)
+            resp.put(None)
+        except Exception as exc:  # BrokenBarrierError or timeout
+            resp.put(exc)
+            return
+
+
 class ProcessPool:
-    """Persistent worker-process team bound to one graph.
+    """Persistent, rebindable worker-process team.
 
     Creating the pool pays the fork/spawn and shared-segment cost once;
-    :meth:`extract` can then run any number of extractions (benchmark
-    repeats, parameter sweeps) against the same graph with only superstep
-    barriers as overhead.
+    :meth:`extract` can then run any number of extractions — repeats on
+    one graph *or* a whole batch of different graphs — with only superstep
+    barriers (and the rare capacity growth) as overhead.  This is the
+    amortisation step that makes ``extract_many`` serve many requests
+    without per-request pool spawn.
 
     Use as a context manager, or call :meth:`close` explicitly::
 
-        with ProcessPool(graph, num_workers=4) as pool:
-            edges, queue_sizes = pool.extract()
+        with ProcessPool(num_workers=4) as pool:
+            for g in graphs:
+                edges, queue_sizes = pool.extract(g)
+
+    The constructor optionally takes a first graph (``ProcessPool(graph,
+    num_workers=4)``), binding it immediately; ``pool.extract()`` with no
+    argument then runs on the bound graph.
     """
 
     #: Default seconds the coordinator waits on a superstep barrier before
@@ -161,12 +244,18 @@ class ProcessPool:
     #: single superstep can legitimately run longer.
     BARRIER_TIMEOUT = 120.0
 
+    #: Default byte-headroom factor for the shared segment.  Over-allocating
+    #: lets moderately larger graphs rebind via an in-place remap (team
+    #: survives) instead of a segment reallocation (team restart).
+    HEADROOM = 1.5
+
     def __init__(
         self,
-        graph: CSRGraph,
+        graph: CSRGraph | None = None,
         num_workers: int = 4,
         *,
         barrier_timeout: float | None = None,
+        headroom: float | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -174,66 +263,176 @@ class ProcessPool:
         self.barrier_timeout = (
             self.BARRIER_TIMEOUT if barrier_timeout is None else barrier_timeout
         )
-        g = graph if graph.sorted_adjacency else graph.with_sorted_adjacency()
-        self._n = g.num_vertices
-        self._max_degree = g.max_degree()
-        lower = lower_counts(g.indptr, g.indices)
-        offsets = arena_offsets(lower)
-        cap = int(offsets[-1])
-        self._trivial = self._n == 0 or cap == 0
+        self.headroom = max(1.0, self.HEADROOM if headroom is None else headroom)
         self._block: SharedArrayBlock | None = None
         self._procs: list = []
         self._closed = False
-        if self._trivial:
-            return
-        spec = _build_spec(self._n, g.indices.size, cap, num_workers)
-        self._block = SharedArrayBlock.create(spec)
+        self._caps: tuple[int, int, int] = (0, 0, 0)
+        self._gen = 0
+        self._bound: CSRGraph | None = None
+        self._n = 0
+        self._nnz = 0
+        self._max_degree = 0
+        self._trivial_bound = True
+        if graph is not None:
+            self.bind(graph)
+
+    # ------------------------------------------------------------------
+    def bind(self, graph: CSRGraph) -> "ProcessPool":
+        """Load ``graph`` into the shared arena, growing it if needed.
+
+        Idempotent per graph object; :meth:`extract` calls this
+        automatically when handed a graph that is not currently bound.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessPool is closed")
+        g = graph if graph.sorted_adjacency else graph.with_sorted_adjacency()
+        lower = lower_counts(g.indptr, g.indices)
+        offsets = arena_offsets(lower)
+        cap = int(offsets[-1])
+        n = g.num_vertices
+        self._bound = graph
+        self._n = n
+        self._nnz = int(g.indices.size)
+        self._max_degree = g.max_degree()
+        self._trivial_bound = n == 0 or cap == 0
+        if self._trivial_bound:
+            return self
+        self._ensure_capacity(n, self._nnz, cap)
         a = self._block.arrays
-        a["indptr"][:] = g.indptr
-        a["indices"][:] = g.indices
-        a["lower"][:] = lower
-        a["offsets"][:] = offsets
-        a["control"][_CTRL_N] = self._n
+        a["indptr"][: n + 1] = g.indptr
+        a["indices"][: self._nnz] = g.indices
+        a["lower"][:n] = lower
+        a["offsets"][: n + 1] = offsets
+        a["control"][_CTRL_N] = n
+        return self
+
+    def _ensure_capacity(self, n: int, nnz: int, cap: int) -> None:
+        """Make the segment and team able to hold an (n, nnz, cap) graph."""
+        n_cap, nnz_cap, arena_cap = self._caps
+        if self._procs and n <= n_cap and nnz <= nnz_cap and cap <= arena_cap:
+            return
+        if self._block is None:
+            new_caps = (n, nnz, cap)
+        else:
+            # Geometric growth so a batch of increasing graphs pays
+            # O(log) reallocations, not one per graph; caps never shrink
+            # (high-water mark), so alternating graph shapes settle into
+            # the zero-churn fast path instead of remapping every bind.
+            new_caps = (
+                n_cap if n <= n_cap else max(n, 2 * n_cap),
+                nnz_cap if nnz <= nnz_cap else max(nnz, 2 * nnz_cap),
+                arena_cap if cap <= arena_cap else max(cap, 2 * arena_cap),
+            )
+        spec = _build_spec(*new_caps, self.num_workers)
+        if self._block is not None and self._procs and self._block.fits(spec):
+            # In-place growth: same segment, new layout; workers remap at
+            # the next superstep when they observe the bumped generation.
+            self._block.remap(spec)
+        else:
+            self._teardown()
+            self._block = SharedArrayBlock.create(
+                spec, size=int(layout_size(spec) * self.headroom)
+            )
+        self._caps = new_caps
+        self._gen += 1
+        ctrl = self._block.arrays["control"]
+        ctrl[_CTRL_GEN] = self._gen
+        ctrl[_CTRL_N_CAP] = new_caps[0]
+        ctrl[_CTRL_NNZ_CAP] = new_caps[1]
+        ctrl[_CTRL_ARENA_CAP] = new_caps[2]
+        if not self._procs:
+            self._start_team()
+
+    def _start_team(self) -> None:
+        import queue
+        import threading
+
         ctx = _context()
-        self._start = ctx.Barrier(num_workers + 1)
-        self._done = ctx.Barrier(num_workers + 1)
+        self._start = ctx.Barrier(self.num_workers + 1)
+        self._done = ctx.Barrier(self.num_workers + 1)
+        # The coordinator never touches the barriers directly: a worker
+        # killed mid-wait (OOM killer, external SIGKILL) can leave the
+        # barrier's internal condition state permanently unreleasable, and
+        # Barrier.wait(timeout) does not bound that lock/drain phase.  A
+        # per-team agent thread does the waiting instead; the coordinator
+        # waits on the response queue with a real timeout and sacrifices
+        # the (daemon) agent if the barrier state is wedged.
+        self._agent_req: queue.Queue = queue.Queue()
+        self._agent_resp: queue.Queue = queue.Queue()
+        self._agent = threading.Thread(
+            target=_barrier_agent,
+            args=(
+                self._agent_req,
+                self._agent_resp,
+                self._start,
+                self._done,
+                self.barrier_timeout,
+            ),
+            daemon=True,
+            name="repro-procpool-barrier-agent",
+        )
+        self._agent.start()
         self._procs = [
             ctx.Process(
                 target=_worker_main,
-                args=(tid, self._block.name, spec, self._start, self._done),
+                args=(
+                    tid,
+                    self._block.name,
+                    self._caps,
+                    self.num_workers,
+                    self._start,
+                    self._done,
+                ),
                 daemon=True,
                 name=f"repro-procworker-{tid}",
             )
-            for tid in range(num_workers)
+            for tid in range(self.num_workers)
         ]
         for p in self._procs:
             p.start()
 
     # ------------------------------------------------------------------
-    def extract(self, max_iterations: int | None = None) -> tuple[np.ndarray, list[int]]:
+    def extract(
+        self,
+        graph: CSRGraph | None = None,
+        *,
+        max_iterations: int | None = None,
+    ) -> tuple[np.ndarray, list[int]]:
         """Run one extraction; returns ``(edges, queue_sizes)``.
 
-        Resets the shared Algorithm 1 state, then drives barrier-separated
-        supersteps until no vertex has a parent left.  Deterministic: the
-        result is independent of ``num_workers``.
+        With ``graph`` given, rebinds the pool to it first (cheap when the
+        graph fits the current capacities).  With ``graph=None``, runs on
+        the currently bound graph.  Resets the shared Algorithm 1 state,
+        then drives barrier-separated supersteps until no vertex has a
+        parent left.  Deterministic: the result is independent of
+        ``num_workers`` and of whatever graphs the pool served before.
         """
-        if self._trivial:
-            return np.empty((0, 2), dtype=np.int64), []
         if self._closed:
             raise RuntimeError("ProcessPool is closed")
+        if graph is not None and graph is not self._bound:
+            self.bind(graph)
+        if self._bound is None:
+            raise RuntimeError(
+                "no graph bound; pass one to extract() or bind() first"
+            )
+        if self._trivial_bound:
+            return np.empty((0, 2), dtype=np.int64), []
         a = self._block.arrays
         ctrl = a["control"]
-        a["counts"][:] = 0
-        a["cursor"][:] = 0
-        a["lp"][:] = initial_parents(a["indptr"], a["indices"], a["lower"])
-
         n = self._n
+        a["counts"][:n] = 0
+        a["cursor"][:n] = 0
+        a["lp"][:n] = initial_parents(
+            a["indptr"][: n + 1], a["indices"][: self._nnz], a["lower"][:n]
+        )
+
         queue_sizes: list[int] = []
         chunks: list[tuple[np.ndarray, np.ndarray]] = []
         limit = max_iterations if max_iterations is not None else self._max_degree + 2
 
         while True:
-            active = np.flatnonzero(a["lp"] >= 0)
+            active = np.flatnonzero(a["lp"][:n] >= 0)
             na = active.size
             if na == 0:
                 break
@@ -242,17 +441,17 @@ class ProcessPool:
                     f"exceeded iteration budget {limit} with {na} active "
                     "vertices; this indicates an internal bug"
                 )
-            parents = a["lp"][active]
+            parents = a["lp"][:n][active]
             queue_sizes.append(int(np.unique(parents).size))
             a["active"][:na] = active
             a["parents"][:na] = parents
-            a["snapshot"][:] = a["counts"]
+            a["snapshot"][:n] = a["counts"][:n]
             nkeys = build_arena_keys(
-                a["arena"], a["offsets"], a["snapshot"], n, out=a["keys"]
+                a["arena"], a["offsets"], a["snapshot"][:n], n, out=a["keys"]
             ).size
             # Balance slices by subset-test cost (|C[w]| probes + constant).
             ranges = balanced_chunks(
-                a["snapshot"][active].astype(np.float64) + 1.0, self.num_workers
+                a["snapshot"][:n][active].astype(np.float64) + 1.0, self.num_workers
             )
             a["cuts"][: self.num_workers] = [r[0] for r in ranges]
             a["cuts"][self.num_workers] = ranges[-1][1]
@@ -270,33 +469,52 @@ class ProcessPool:
         return assemble_edges(chunks), queue_sizes
 
     def _superstep_barrier(self) -> None:
+        import queue
+
+        self._agent_req.put("superstep")
         try:
-            self._start.wait(timeout=self.barrier_timeout)
-            self._done.wait(timeout=self.barrier_timeout)
-        except Exception as exc:  # BrokenBarrierError or timeout
+            # The agent's two waits are bounded by barrier_timeout each;
+            # the slack covers queue latency.  Hitting Empty means the
+            # barrier state itself is wedged (worker died holding it).
+            failure = self._agent_resp.get(timeout=2 * self.barrier_timeout + 5.0)
+        except queue.Empty:
+            failure = RuntimeError(
+                "superstep barrier deadlocked (a worker likely died while "
+                "holding barrier state)"
+            )
+        if failure is not None:
             dead = [p.name for p in self._procs if not p.is_alive()]
             self.close()
             raise RuntimeError(
-                f"process-engine superstep barrier failed ({exc!r}); "
+                f"process-engine superstep barrier failed ({failure!r}); "
                 f"dead workers: {dead or 'none'}"
-            ) from exc
+            ) from failure
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Shut the team down and release the shared segment (idempotent).
+    def _teardown(self) -> None:
+        """Stop the current team (if any) and release the segment.
 
         Robust to partially-constructed pools: never-started workers are
         skipped, and the segment is released even when joins misbehave.
+        The pool stays usable — a later bind starts a fresh team.
         """
-        if self._trivial or self._closed:
+        if self._block is None:
             return
-        self._closed = True
-        try:
-            self._block.arrays["control"][_CTRL_CMD] = _CMD_SHUTDOWN
-            self._start.wait(timeout=5.0)
-        except Exception:  # workers dead or never started; reap below
-            pass
-        try:
+        if self._procs:
+            try:
+                # Ask for a clean exit only while the whole team is alive:
+                # a worker killed mid-wait (e.g. daemon reaping at
+                # interpreter shutdown) leaves the barrier unreleasable,
+                # so dead or part-dead teams are reaped below instead.
+                # The barrier poke goes through the agent thread (see
+                # _barrier_agent) and is abandoned on timeout.
+                if all(p.pid is not None and p.is_alive() for p in self._procs):
+                    self._block.arrays["control"][_CTRL_CMD] = _CMD_SHUTDOWN
+                    self._agent_req.put("shutdown")
+                    self._agent_resp.get(timeout=10.0)
+            except Exception:  # queue.Empty, or workers died under us; reap below
+                pass
+            self._agent_req.put(None)  # retire an idle agent (stuck one is daemon)
             for p in self._procs:
                 try:
                     if p.pid is None:  # Process.start() never ran
@@ -307,9 +525,21 @@ class ProcessPool:
                         p.join(timeout=5.0)
                 except Exception:  # pragma: no cover - reaping is best-effort
                     pass
+            self._procs = []
+        self._block.close()
+        self._block.unlink()
+        self._block = None
+
+    def close(self) -> None:
+        """Shut the team down and release the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._bound = None
+        try:
+            self._teardown()
         finally:
-            self._block.close()
-            self._block.unlink()
+            self._block = None
 
     def __enter__(self) -> "ProcessPool":
         return self
@@ -335,7 +565,10 @@ def process_max_chordal(
     """Extract the maximal chordal edge set with a process team.
 
     Returns ``(edges, queue_sizes)``, bit-identical to the serial
-    synchronous superstep engine for every ``num_workers``.
+    synchronous superstep engine for every ``num_workers``.  Spawns (and
+    tears down) a one-shot :class:`ProcessPool`; batch callers should hold
+    a pool and call :meth:`ProcessPool.extract` per graph instead — see
+    :func:`repro.core.extract.extract_many`.
 
     ``variant`` is validated for API symmetry; Opt/Unopt visit identical
     parents (see :mod:`repro.core.state`) and the bulk kernels do no cost

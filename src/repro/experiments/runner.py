@@ -5,9 +5,11 @@ Usage::
     python -m repro.experiments table1 [--scales 10,11,12] [--seed N]
     python -m repro.experiments all
     repro-experiments fig7 --bio-fraction 0.015625
+    repro experiments table1 --scales 8,9   # via the unified CLI
 
 Each experiment prints its table and/or series in the format recorded in
-EXPERIMENTS.md.
+EXPERIMENTS.md.  The unified ``repro`` CLI (:mod:`repro.cli`) forwards
+its ``experiments`` subcommand here verbatim.
 """
 
 from __future__ import annotations

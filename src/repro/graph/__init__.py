@@ -12,6 +12,14 @@ from repro.graph.builder import (
     from_edge_array,
     from_adjacency_dict,
     from_networkx,
+    compact_labels,
+)
+from repro.graph.io import (
+    load_graph,
+    save_graph,
+    detect_format,
+    read_snap,
+    FORMATS,
 )
 from repro.graph.ops import (
     edge_subgraph,
@@ -29,6 +37,12 @@ __all__ = [
     "from_edge_array",
     "from_adjacency_dict",
     "from_networkx",
+    "compact_labels",
+    "load_graph",
+    "save_graph",
+    "detect_format",
+    "read_snap",
+    "FORMATS",
     "edge_subgraph",
     "induced_subgraph",
     "relabel",

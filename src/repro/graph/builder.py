@@ -15,7 +15,32 @@ import numpy as np
 from repro.errors import GraphFormatError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["build_graph", "from_edge_array", "from_adjacency_dict", "from_networkx"]
+__all__ = [
+    "build_graph",
+    "from_edge_array",
+    "from_adjacency_dict",
+    "from_networkx",
+    "compact_labels",
+]
+
+
+def compact_labels(edges: np.ndarray) -> tuple[int, np.ndarray, np.ndarray]:
+    """Relabel arbitrary integer endpoints to the contiguous range ``0..k-1``.
+
+    Real-world edge lists (SNAP dumps in particular) use sparse,
+    non-contiguous — sometimes huge — vertex ids; the CSR substrate needs
+    dense ids.  Returns ``(k, relabeled, labels)`` where ``k`` is the
+    number of distinct endpoints, ``relabeled`` is the ``(m, 2)`` edge
+    array over new ids, and ``labels[new_id] = original_id`` (sorted
+    ascending, so relabeling preserves the relative id order Algorithm 1's
+    lowest-parent structure is sensitive to).  Only ids that appear as an
+    endpoint receive a label; isolated vertices are not representable.
+    """
+    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if e.size == 0:
+        return 0, e, np.empty(0, dtype=np.int64)
+    labels, inverse = np.unique(e, return_inverse=True)
+    return int(labels.size), inverse.reshape(e.shape).astype(np.int64), labels
 
 
 def _best_index_dtype(n: int) -> np.dtype:

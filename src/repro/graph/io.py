@@ -1,19 +1,38 @@
-"""Graph serialisation: plain edge-list text and NumPy ``.npz`` binary.
+"""Graph serialisation: edge lists, MatrixMarket, METIS, SNAP and ``.npz``.
 
-The text format is one ``u v`` pair per line with an optional header
-comment ``# vertices N`` (needed to preserve isolated trailing vertices).
-The ``.npz`` format stores the CSR arrays directly and round-trips exactly.
+Dataset ingestion layer for the batch pipeline.  Supported formats:
+
+* **edgelist** — one ``u v`` pair per line with an optional header comment
+  ``# vertices N`` (needed to preserve isolated trailing vertices).
+* **mtx** — MatrixMarket coordinate format, the interchange format of the
+  SuiteSparse / sparse-matrix world (1-based, ``pattern``/``real``/
+  ``integer`` fields, ``symmetric`` or ``general`` symmetry; weights are
+  ignored, the adjacency pattern is what matters here).
+* **snap** — SNAP-style edge lists: ``#``-commented headers, tab- or
+  space-separated pairs, arbitrary non-contiguous vertex ids that are
+  compacted to ``0..k-1`` via
+  :func:`repro.graph.builder.compact_labels`.
+* **metis** — the graph-partitioning community's adjacency format.
+* **npz** — NumPy binary of the CSR arrays (exact round-trip).
+
+Any text format transparently reads/writes gzip when the path ends in
+``.gz``.  :func:`load_graph` / :func:`save_graph` dispatch on an explicit
+format name or on auto-detection (:func:`detect_format`: extension first,
+content sniffing as fallback).  The big-file readers (``mtx``, ``snap``)
+parse in bulk — fixed-size text chunks are split and converted with one
+NumPy call per chunk instead of a Python loop per line.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 import os
 
 import numpy as np
 
 from repro.errors import GraphFormatError
-from repro.graph.builder import from_edge_array
+from repro.graph.builder import compact_labels, from_edge_array
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -23,13 +42,136 @@ __all__ = [
     "load_npz",
     "write_metis",
     "read_metis",
+    "write_mtx",
+    "read_mtx",
+    "read_snap",
+    "detect_format",
+    "load_graph",
+    "save_graph",
+    "strip_format_extension",
+    "FORMATS",
 ]
+
+#: Formats :func:`load_graph` understands (``save_graph`` writes all but
+#: ``snap``, which is a read-side convention, not a distinct writer).
+FORMATS = ("edgelist", "mtx", "metis", "npz", "snap")
+
+#: Characters of text per bulk-parse chunk (~1 MiB).
+_CHUNK_CHARS = 1 << 20
+
+_EXTENSION_FORMATS = {
+    ".mtx": "mtx",
+    ".mm": "mtx",
+    ".npz": "npz",
+    ".metis": "metis",
+    ".graph": "metis",
+    ".snap": "snap",
+    ".edges": "edgelist",
+    ".el": "edgelist",
+    ".edgelist": "edgelist",
+}
+
+
+def strip_format_extension(name: str) -> str:
+    """Drop a trailing ``.gz`` plus any known graph-format extension.
+
+    ``ca-GrQc.txt.gz`` -> ``ca-GrQc``; unknown extensions are kept.  The
+    CLI uses this to derive per-input output stems, so the set of
+    recognised extensions stays defined in exactly one place.
+    """
+    if name.endswith(".gz"):
+        name = name[:-3]
+    ext = os.path.splitext(name)[1].lower()
+    # ".txt" deliberately sniffs rather than maps (see detect_format) but
+    # is still a recognised spelling worth stripping from output stems.
+    if ext in _EXTENSION_FORMATS or ext == ".txt":
+        name = name[: -len(ext)]
+    return name
+
+
+def _open_text(path: str | os.PathLike, mode: str):
+    """Open a text file, transparently gzip-compressed for ``*.gz`` paths."""
+    name = os.fspath(path)
+    if str(name).endswith(".gz"):
+        return gzip.open(name, mode + "t", encoding="utf-8")
+    return open(name, mode, encoding="utf-8")
+
+
+def _data_blocks(fh, comment_prefixes: tuple[str, ...], on_comment=None):
+    """Yield comment-free text blocks from ``fh`` in ~1 MiB chunks.
+
+    The fast path hands a whole chunk through untouched; only chunks that
+    actually contain a comment line fall back to per-line filtering
+    (comments sit at the top of real-world files, so almost every chunk
+    takes the fast path).  ``on_comment`` receives each stripped comment
+    line.
+    """
+    tail = ""
+    while True:
+        block = fh.read(_CHUNK_CHARS)
+        if not block:
+            break
+        block = tail + block
+        cut = block.rfind("\n")
+        if cut < 0:
+            tail = block
+            continue
+        tail = block[cut + 1 :]
+        yield from _strip_comments(block[: cut + 1], comment_prefixes, on_comment)
+    if tail:
+        yield from _strip_comments(tail, comment_prefixes, on_comment)
+
+
+def _strip_comments(text: str, prefixes: tuple[str, ...], on_comment):
+    has_comment = text.startswith(prefixes) or any(
+        "\n" + p in text for p in prefixes
+    )
+    if not has_comment:
+        yield text
+        return
+    kept: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(prefixes):
+            if on_comment is not None:
+                on_comment(stripped)
+            continue
+        kept.append(line)
+    if kept:
+        yield "\n".join(kept)
+
+
+def _bulk_tokens(fh, comment_prefixes: tuple[str, ...], on_comment=None) -> np.ndarray:
+    """All whitespace-separated numeric tokens of ``fh`` as one float64 array.
+
+    float64 keeps the converter uniform across pattern (int-only) and
+    weighted (mixed) files; ids are exact up to 2**53, far beyond any
+    graph this library can hold.
+    """
+    parts: list[np.ndarray] = []
+    for block in _data_blocks(fh, comment_prefixes, on_comment):
+        try:
+            parts.append(np.array(block.split(), dtype=np.float64))
+        except ValueError as exc:
+            raise GraphFormatError(f"non-numeric token in graph data: {exc}") from exc
+    if not parts:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(parts)
+
+
+def _int_column_pair(values: np.ndarray, what: str) -> np.ndarray:
+    """Validate that an ``(m, 2)`` float column pair is integral; cast."""
+    if not np.all(values == np.floor(values)):
+        raise GraphFormatError(f"{what}: vertex ids must be integers")
+    return values.astype(np.int64)
 
 
 def write_edgelist(graph: CSRGraph, path: str | os.PathLike | io.TextIOBase) -> None:
     """Write ``graph`` as a text edge list (with a ``# vertices`` header)."""
     own = isinstance(path, (str, os.PathLike))
-    fh = open(path, "w", encoding="utf-8") if own else path
+    fh = _open_text(path, "w") if own else path
     try:
         fh.write(f"# vertices {graph.num_vertices}\n")
         for u, v in graph.edge_array():
@@ -46,7 +188,7 @@ def read_edgelist(path: str | os.PathLike | io.TextIOBase) -> CSRGraph:
     vertex count (otherwise ``max id + 1`` is used).
     """
     own = isinstance(path, (str, os.PathLike))
-    fh = open(path, "r", encoding="utf-8") if own else path
+    fh = _open_text(path, "r") if own else path
     try:
         n_declared = -1
         pairs: list[tuple[int, int]] = []
@@ -80,7 +222,7 @@ def write_metis(graph: CSRGraph, path: str | os.PathLike | io.TextIOBase) -> Non
     ``i-1``'s neighbors).  The de-facto interchange format of the graph
     partitioning community the distributed baseline belongs to."""
     own = isinstance(path, (str, os.PathLike))
-    fh = open(path, "w", encoding="utf-8") if own else path
+    fh = _open_text(path, "w") if own else path
     try:
         fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
         for v in range(graph.num_vertices):
@@ -96,7 +238,7 @@ def read_metis(path: str | os.PathLike | io.TextIOBase) -> CSRGraph:
     Validates the header counts; comment lines start with ``%``.
     """
     own = isinstance(path, (str, os.PathLike))
-    fh = open(path, "r", encoding="utf-8") if own else path
+    fh = _open_text(path, "r") if own else path
     try:
         header: list[int] | None = None
         rows: list[list[int]] = []
@@ -161,4 +303,228 @@ def load_npz(path: str | os.PathLike) -> CSRGraph:
             data["indices"],
             sorted_adjacency=bool(data["sorted_adjacency"]),
             validate=True,
+        )
+
+
+def write_mtx(graph: CSRGraph, path: str | os.PathLike | io.TextIOBase) -> None:
+    """Write in MatrixMarket coordinate format (``pattern symmetric``).
+
+    One entry per undirected edge, stored in the lower triangle
+    (``row > col``, 1-based) as the MatrixMarket symmetric convention
+    requires.  The matrix is square ``n x n``, so isolated vertices
+    round-trip.
+    """
+    own = isinstance(path, (str, os.PathLike))
+    fh = _open_text(path, "w") if own else path
+    try:
+        n = graph.num_vertices
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        fh.write("% maximal chordal subgraph repro library\n")
+        fh.write(f"{n} {n} {graph.num_edges}\n")
+        edges = graph.edge_array()
+        if edges.size:
+            # edge_array rows are (u, v) with u < v; lower triangle is (v, u).
+            np.savetxt(fh, np.column_stack((edges[:, 1] + 1, edges[:, 0] + 1)), fmt="%d")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_mtx(path: str | os.PathLike | io.TextIOBase) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected graph.
+
+    Accepts ``pattern``, ``real`` and ``integer`` fields (weights are
+    dropped — only the sparsity pattern becomes adjacency) with
+    ``symmetric``, ``skew-symmetric`` or ``general`` symmetry; the matrix
+    must be square.  Self-loops (diagonal entries) are discarded and
+    duplicate/mirrored entries collapse, courtesy of the builder.
+    """
+    own = isinstance(path, (str, os.PathLike))
+    fh = _open_text(path, "r") if own else path
+    try:
+        banner = fh.readline().strip()
+        parts = banner.lower().split()
+        if len(parts) != 5 or parts[0] != "%%matrixmarket":
+            raise GraphFormatError(
+                f"not a MatrixMarket file (banner {banner!r}); expected "
+                "'%%MatrixMarket matrix coordinate <field> <symmetry>'"
+            )
+        _, obj, fmt, field, symmetry = parts
+        if obj != "matrix" or fmt != "coordinate":
+            raise GraphFormatError(
+                f"only 'matrix coordinate' MatrixMarket files are supported, "
+                f"got '{obj} {fmt}'"
+            )
+        if field not in ("pattern", "real", "integer", "double"):
+            raise GraphFormatError(f"unsupported MatrixMarket field {field!r}")
+        if symmetry not in ("symmetric", "general", "skew-symmetric"):
+            raise GraphFormatError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+        tokens = _bulk_tokens(fh, ("%",))
+    finally:
+        if own:
+            fh.close()
+    if tokens.size < 3:
+        raise GraphFormatError("MatrixMarket file is missing its size line")
+    rows, cols, nnz = (int(t) for t in tokens[:3])
+    if rows != cols:
+        raise GraphFormatError(
+            f"adjacency matrix must be square, got {rows} x {cols}"
+        )
+    data = tokens[3:]
+    per_entry = 2 if field == "pattern" else 3
+    if data.size != nnz * per_entry:
+        # One-sided leniency: a pattern-declared file carrying weight
+        # columns is reinterpretable without data loss, but a weighted
+        # file with only 2 tokens per entry is indistinguishable from a
+        # truncated download — reject it rather than read weights as ids.
+        if field == "pattern" and nnz and data.size == nnz * 3:
+            per_entry = 3
+        else:
+            raise GraphFormatError(
+                f"MatrixMarket size line declares {nnz} entries of "
+                f"{per_entry} tokens but file has {data.size} data tokens"
+            )
+    entries = data.reshape(nnz, per_entry)[:, :2] if nnz else np.empty((0, 2))
+    pairs = _int_column_pair(entries, "MatrixMarket entries")
+    if pairs.size and (pairs.min() < 1 or pairs.max() > rows):
+        raise GraphFormatError(
+            f"MatrixMarket index out of range for a {rows} x {cols} matrix "
+            "(indices are 1-based)"
+        )
+    return from_edge_array(rows, pairs - 1)
+
+
+def read_snap(
+    path: str | os.PathLike | io.TextIOBase,
+) -> tuple[CSRGraph, np.ndarray]:
+    """Read a SNAP-style edge list; compact non-contiguous vertex ids.
+
+    SNAP dumps (https://snap.stanford.edu/data/) are ``#``-commented,
+    tab- or space-separated ``src dst`` pairs over arbitrary — typically
+    sparse — integer ids.  Returns ``(graph, labels)`` with
+    ``labels[new_id] = original_id`` (see
+    :func:`repro.graph.builder.compact_labels`); directedness is dropped
+    (the pair becomes one undirected edge).
+    """
+    own = isinstance(path, (str, os.PathLike))
+    fh = _open_text(path, "r") if own else path
+    try:
+        tokens = _bulk_tokens(fh, ("#", "%"))
+    finally:
+        if own:
+            fh.close()
+    if tokens.size == 0:
+        return from_edge_array(0, np.empty((0, 2), dtype=np.int64)), np.empty(
+            0, dtype=np.int64
+        )
+    if tokens.size % 2 != 0:
+        raise GraphFormatError(
+            f"SNAP edge list has {tokens.size} tokens, not an even number "
+            "of 'src dst' pairs"
+        )
+    pairs = _int_column_pair(tokens.reshape(-1, 2), "SNAP edge list")
+    n, relabeled, labels = compact_labels(pairs)
+    return from_edge_array(n, relabeled), labels
+
+
+def detect_format(path: str | os.PathLike) -> str:
+    """Best-effort format detection: extension first, content sniffing second.
+
+    A trailing ``.gz`` is stripped before the extension lookup (so
+    ``graph.mtx.gz`` is ``mtx``).  The generic ``.txt`` extension is
+    deliberately *not* mapped — real-world SNAP dumps ship as ``.txt``,
+    so those files go through content sniffing, which separates our
+    ``# vertices``-headed edge lists from SNAP's sparse-id comment
+    headers.  Unknown extensions fall back to reading
+    the first non-blank line: a MatrixMarket banner, a METIS ``%`` comment,
+    the npz/zip magic, a ``#`` comment (``# vertices`` means our edgelist
+    header, anything else SNAP), or a plain data line (2 tokens =
+    edgelist, 3 = METIS header with a format flag).  A comment-free METIS
+    file whose header omits the format flag is indistinguishable from an
+    edge pair and sniffs as ``edgelist`` — use the ``.metis``/``.graph``
+    extension or an explicit format for those.  Raises
+    :class:`GraphFormatError` when nothing matches.
+    """
+    name = os.fspath(path)
+    stem = name[:-3] if str(name).endswith(".gz") else name
+    ext = os.path.splitext(stem)[1].lower()
+    if ext in _EXTENSION_FORMATS:
+        return _EXTENSION_FORMATS[ext]
+    try:
+        with open(name, "rb") as fh:
+            if fh.read(2) == b"PK":  # npz is a zip archive
+                return "npz"
+        with _open_text(name, "r") as fh:
+            first = ""
+            for line in fh:
+                if line.strip():
+                    first = line.strip()
+                    break
+    except (OSError, UnicodeDecodeError) as exc:
+        # OSError covers missing files and misnamed gzip; UnicodeDecodeError
+        # covers binary junk — both are "nothing matches", per the contract.
+        raise GraphFormatError(f"cannot sniff {name!r}: {exc}") from exc
+    if first.lower().startswith("%%matrixmarket"):
+        return "mtx"
+    if first.startswith("%"):
+        return "metis"
+    if first.startswith("#"):
+        return "edgelist" if "vertices" in first else "snap"
+    tokens = first.split()
+    if len(tokens) == 2:
+        return "edgelist"
+    if len(tokens) == 3:
+        return "metis"
+    raise GraphFormatError(
+        f"cannot detect graph format of {name!r} (first line {first!r}); "
+        f"pass an explicit format from {FORMATS}"
+    )
+
+
+def load_graph(path: str | os.PathLike, format: str | None = None) -> CSRGraph:
+    """Load a graph file in any supported format.
+
+    ``format`` is one of :data:`FORMATS`; ``None`` auto-detects with
+    :func:`detect_format`.  The ``snap`` reader's id labels are dropped —
+    call :func:`read_snap` directly to keep the original ids.
+    """
+    fmt = format or detect_format(path)
+    if fmt == "edgelist":
+        return read_edgelist(path)
+    if fmt == "mtx":
+        return read_mtx(path)
+    if fmt == "metis":
+        return read_metis(path)
+    if fmt == "npz":
+        return load_npz(path)
+    if fmt == "snap":
+        return read_snap(path)[0]
+    raise GraphFormatError(f"unknown graph format {fmt!r}; expected one of {FORMATS}")
+
+
+def save_graph(
+    graph: CSRGraph, path: str | os.PathLike, format: str | None = None
+) -> None:
+    """Save ``graph`` in any supported format.
+
+    ``None`` picks the format from the file extension, defaulting to
+    ``edgelist`` for unrecognised extensions; ``snap`` is written as a
+    plain edge list (SNAP is an input convention, not an output format).
+    """
+    fmt = format
+    if fmt is None:
+        name = os.fspath(path)
+        stem = name[:-3] if str(name).endswith(".gz") else name
+        fmt = _EXTENSION_FORMATS.get(os.path.splitext(stem)[1].lower(), "edgelist")
+    if fmt in ("edgelist", "snap"):
+        write_edgelist(graph, path)
+    elif fmt == "mtx":
+        write_mtx(graph, path)
+    elif fmt == "metis":
+        write_metis(graph, path)
+    elif fmt == "npz":
+        save_npz(graph, path)
+    else:
+        raise GraphFormatError(
+            f"unknown graph format {fmt!r}; expected one of {FORMATS}"
         )

@@ -9,6 +9,17 @@ carves that segment into named NumPy views from a declarative *spec*
 to it by name with the same spec, and both sides see the same layout
 without any per-array handle plumbing.
 
+The block is designed as a **reusable arena**: :meth:`create` accepts a
+``size`` larger than the spec strictly needs, and :meth:`remap` rebuilds
+the views for a *different* spec over the same segment (as long as it
+fits — check with :meth:`fits`).  The batch pipeline exploits this to run
+many graphs through one segment: a pool sizes the segment for its first
+graph plus headroom, rebinds later graphs by overwriting the views, and
+only reallocates (and restarts its workers) when a graph outgrows the
+segment.  A spec whose first entry is a fixed-size control array keeps
+that array at offset 0 across every remap, giving the two sides a stable
+channel to agree on the current layout.
+
 Views are 8-byte aligned so every ``int64`` slot is a single aligned
 machine word; the unique-writer discipline of the engine (each vertex's
 state has exactly one writing worker per superstep) then guarantees
@@ -59,20 +70,37 @@ class SharedArrayBlock:
         self._shm = shm
         self._owner = owner
         self._closed = False
+        self.arrays: dict[str, np.ndarray] = {}
+        self._map(spec)
+
+    def _map(self, spec) -> None:
         offsets, total = _layout(spec)
-        if shm.size < total:
+        if self._shm.size < total:
             raise ValueError(
-                f"shared segment of {shm.size} bytes too small for spec ({total} bytes)"
+                f"shared segment of {self._shm.size} bytes too small for spec "
+                f"({total} bytes)"
             )
-        self.arrays: dict[str, np.ndarray] = {
-            name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        self.arrays = {
+            name: np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=off)
             for name, (off, dtype, shape) in offsets.items()
         }
 
     @classmethod
-    def create(cls, spec: dict[str, tuple[str, tuple[int, ...]]]) -> "SharedArrayBlock":
-        """Allocate a fresh zero-initialised segment sized for ``spec``."""
-        shm = shared_memory.SharedMemory(create=True, size=layout_size(spec))
+    def create(
+        cls,
+        spec: dict[str, tuple[str, tuple[int, ...]]],
+        *,
+        size: int | None = None,
+    ) -> "SharedArrayBlock":
+        """Allocate a fresh zero-initialised segment sized for ``spec``.
+
+        ``size`` over-allocates the segment (in bytes) beyond what the spec
+        needs, leaving headroom for later :meth:`remap` calls with larger
+        specs; values below the spec's requirement are ignored.
+        """
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(layout_size(spec), size or 0)
+        )
         return cls(shm, spec, owner=True)
 
     @classmethod
@@ -85,6 +113,28 @@ class SharedArrayBlock:
     def name(self) -> str:
         """OS-level segment name workers attach with."""
         return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Total bytes in the backing segment (>= the current spec)."""
+        return self._shm.size
+
+    def fits(self, spec: dict[str, tuple[str, tuple[int, ...]]]) -> bool:
+        """Whether :meth:`remap` with ``spec`` would succeed on this segment."""
+        return layout_size(spec) <= self._shm.size
+
+    def remap(self, spec: dict[str, tuple[str, tuple[int, ...]]]) -> None:
+        """Rebuild the views for a new spec over the same segment.
+
+        Bytes are reinterpreted in place — nothing is zeroed, so arrays
+        whose offsets shift hold garbage until rewritten.  Every attached
+        process must remap with the identical spec before touching the
+        reinterpreted arrays.  Raises ``ValueError`` if the spec does not
+        fit (see :meth:`fits`).
+        """
+        if self._closed:
+            raise ValueError("cannot remap a closed SharedArrayBlock")
+        self._map(spec)
 
     def close(self) -> None:
         """Drop this process's mapping (idempotent)."""

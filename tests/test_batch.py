@@ -1,0 +1,176 @@
+"""Tests for the batch pipeline: ``extract_many`` and the rebindable
+:class:`~repro.core.procpool.ProcessPool` (PR 2 amortisation layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.extract import extract_many, extract_maximal_chordal_subgraph
+from repro.core.procpool import ProcessPool
+from repro.core.superstep import superstep_max_chordal
+from repro.graph.builder import build_graph
+from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
+
+
+def sync_reference(graph):
+    """Serial synchronous engine — the bit-identity oracle for the pool."""
+    edges, queue_sizes, _ = superstep_max_chordal(graph, schedule="synchronous")
+    return edges, queue_sizes
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return [rmat_er(6, seed=1), rmat_g(7, seed=2), rmat_b(6, seed=3)]
+
+
+class TestProcessPoolRebind:
+    def test_rebind_matches_serial_sync_per_graph(self, batch):
+        with ProcessPool(num_workers=2) as pool:
+            for g in batch:
+                edges, queue_sizes = pool.extract(g)
+                ref_edges, ref_sizes = sync_reference(g)
+                assert np.array_equal(edges, ref_edges)
+                assert queue_sizes == ref_sizes
+
+    def test_growth_then_shrink(self):
+        # small -> much larger (forces capacity growth) -> small again.
+        sizes = [rmat_er(5, seed=1), rmat_b(9, seed=2), rmat_er(5, seed=3)]
+        with ProcessPool(num_workers=2) as pool:
+            for g in sizes:
+                assert np.array_equal(pool.extract(g)[0], sync_reference(g)[0])
+
+    def test_inplace_growth_keeps_worker_team(self):
+        small, big = rmat_er(5, seed=7), rmat_er(6, seed=7)
+        with ProcessPool(small, num_workers=2, headroom=8.0) as pool:
+            pids = [p.pid for p in pool._procs]
+            edges, _ = pool.extract(big)
+            assert [p.pid for p in pool._procs] == pids
+            assert np.array_equal(edges, sync_reference(big)[0])
+
+    def test_segment_overflow_restarts_worker_team(self):
+        small, big = rmat_er(5, seed=7), rmat_b(9, seed=8)
+        with ProcessPool(small, num_workers=2, headroom=1.0) as pool:
+            pids = [p.pid for p in pool._procs]
+            edges, _ = pool.extract(big)
+            assert [p.pid for p in pool._procs] != pids
+            assert np.array_equal(edges, sync_reference(big)[0])
+
+    def test_constructor_graph_and_argless_extract(self):
+        g = rmat_er(6, seed=4)
+        with ProcessPool(g, num_workers=2) as pool:
+            first = pool.extract()[0]
+            again = pool.extract()[0]  # repeat on the bound graph
+        assert np.array_equal(first, sync_reference(g)[0])
+        assert np.array_equal(first, again)
+
+    def test_trivial_graphs_mid_batch(self):
+        graphs = [rmat_er(5, seed=1), build_graph(0, []), build_graph(4, []),
+                  rmat_er(5, seed=2)]
+        with ProcessPool(num_workers=2) as pool:
+            for g in graphs:
+                edges, queue_sizes = pool.extract(g)
+                assert np.array_equal(edges, sync_reference(g)[0])
+
+    def test_extract_without_bind_raises(self):
+        with ProcessPool(num_workers=1) as pool:
+            with pytest.raises(RuntimeError, match="no graph bound"):
+                pool.extract()
+
+    def test_closed_pool_raises(self):
+        pool = ProcessPool(rmat_er(5, seed=1), num_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.extract()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.bind(rmat_er(5, seed=1))
+        pool.close()  # idempotent
+
+    def test_bad_num_workers(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ProcessPool(num_workers=0)
+
+
+class TestExtractMany:
+    def test_results_match_single_calls(self, batch):
+        for engine in ("superstep", "process"):
+            many = extract_many(batch, engine=engine, num_workers=2)
+            for g, result in zip(batch, many):
+                single = extract_maximal_chordal_subgraph(
+                    g,
+                    engine=engine,
+                    schedule="synchronous" if engine == "process" else "asynchronous",
+                    num_workers=2,
+                )
+                assert np.array_equal(result.edges, single.edges)
+                assert result.queue_sizes == single.queue_sizes
+                assert result.engine == engine
+
+    def test_empty_batch(self):
+        assert extract_many([], engine="process") == []
+
+    def test_accepts_iterator(self, batch):
+        results = extract_many(iter(batch), engine="superstep")
+        assert len(results) == len(batch)
+
+    def test_kwargs_forwarded(self, batch):
+        results = extract_many(batch, engine="superstep", renumber="bfs",
+                               maximalize=True)
+        for r in results:
+            assert r.renumbered
+            assert r.maximality_gap >= 0
+
+    def test_caller_owned_pool_stays_open(self, batch):
+        with ProcessPool(num_workers=2) as pool:
+            extract_many(batch[:2], engine="process", pool=pool)
+            # pool is still usable after extract_many returns
+            edges, _ = pool.extract(batch[0])
+            assert np.array_equal(edges, sync_reference(batch[0])[0])
+
+    def test_pool_with_wrong_engine_rejected(self, batch):
+        with ProcessPool(num_workers=1) as pool:
+            with pytest.raises(ValueError, match="pool"):
+                extract_maximal_chordal_subgraph(
+                    batch[0], engine="superstep", pool=pool
+                )
+
+    @pytest.mark.slow
+    def test_killed_worker_detected_within_bounded_time(self):
+        """A worker SIGKILLed mid-batch (the OOM-killer scenario) can wedge
+        the mp.Barrier state beyond any wait(timeout); the barrier-agent
+        thread must still surface a RuntimeError in bounded time and
+        release the shared segment."""
+        import os
+        import signal
+        import time
+
+        g = rmat_er(8, seed=1)
+        pool = ProcessPool(g, num_workers=2, barrier_timeout=1.0)
+        pool.extract()
+        os.kill(pool._procs[0].pid, signal.SIGKILL)
+        time.sleep(0.2)
+        start = time.perf_counter()
+        with pytest.raises(RuntimeError, match="barrier"):
+            pool.extract()
+        # 2 * barrier_timeout + 5s queue slack + 2 * 5s worker reaping.
+        assert time.perf_counter() - start < 20.0
+        assert pool._closed  # pool self-closed; segment released
+
+    @pytest.mark.slow
+    def test_batch_faster_than_per_call_pool_spawn(self):
+        """The amortisation claim of BENCH_batch.json, as a loose gate."""
+        from repro.util.timing import median_of
+
+        graphs = [rmat_er(7, seed=i) for i in range(12)]
+
+        def batch_run():
+            extract_many(graphs, engine="process", num_workers=2)
+
+        def percall_run():
+            for g in graphs:
+                extract_maximal_chordal_subgraph(
+                    g, engine="process", schedule="synchronous", num_workers=2
+                )
+
+        batch_s = median_of(batch_run, 3)
+        percall_s = median_of(percall_run, 3)
+        # The measured gap is ~2.7x (BENCH_batch.json); 1.2x absorbs noise.
+        assert batch_s * 1.2 < percall_s, (batch_s, percall_s)

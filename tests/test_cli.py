@@ -1,0 +1,227 @@
+"""Tests for the unified ``repro`` CLI (:mod:`repro.cli`).
+
+In-process ``main(argv)`` calls cover the subcommand surface; one
+subprocess test exercises the real ``python -m repro generate | extract``
+pipe the README advertises.
+"""
+
+import io
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.graph.generators.rmat import rmat_b, rmat_er
+from repro.graph.io import load_graph, read_edgelist, save_graph, write_mtx
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_extract_defaults(self):
+        args = build_parser().parse_args(["extract", "g.mtx"])
+        assert args.engine == "superstep"
+        assert args.schedule is None
+        assert args.output == "-"
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["extract", "g.mtx", "--engine", "gpu"])
+
+    def test_generate_families_listed(self):
+        args = build_parser().parse_args(["generate", "rmat-b", "--scale", "9"])
+        assert args.family == "rmat-b" and args.scale == 9
+
+    def test_experiments_remainder_forwarded(self):
+        args = build_parser().parse_args(["experiments", "table1", "--scales", "8"])
+        assert args.rest == ["table1", "--scales", "8"]
+
+
+class TestGenerate:
+    def test_to_file_deterministic(self, tmp_path):
+        out = tmp_path / "g.mtx"
+        assert main(["generate", "rmat-er", "--scale", "7", "--seed", "3",
+                     "-o", str(out)]) == 0
+        assert load_graph(out) == rmat_er(7, seed=3)
+
+    def test_to_stdout_edgelist(self, capsys):
+        assert main(["generate", "gnp", "--n", "12", "--p", "0.3", "--seed", "1"]) == 0
+        captured = capsys.readouterr().out
+        g = read_edgelist(io.StringIO(captured))
+        assert g.num_vertices == 12
+
+    @pytest.mark.parametrize("family", ["gnm", "ba", "ktree", "partial-ktree",
+                                        "random-chordal", "interval"])
+    def test_every_family_runs(self, family, tmp_path):
+        out = tmp_path / "g.txt"
+        assert main(["generate", family, "--n", "16", "--seed", "2",
+                     "-o", str(out)]) == 0
+        assert load_graph(out).num_vertices > 0
+
+    def test_stdout_honors_format(self, capsys):
+        assert main(["generate", "gnp", "--n", "10", "--p", "0.3",
+                     "--seed", "1", "--format", "mtx"]) == 0
+        assert capsys.readouterr().out.startswith("%%MatrixMarket")
+
+    def test_stdout_npz_rejected(self, capsys):
+        assert main(["generate", "gnp", "--n", "10", "--format", "npz"]) == 2
+        assert "stdout" in capsys.readouterr().err
+
+
+class TestExtract:
+    def test_stdout_matches_api(self, tmp_path, capsys):
+        g = rmat_b(7, seed=5)
+        src = tmp_path / "g.mtx"
+        write_mtx(g, src)
+        assert main(["extract", str(src), "--quiet"]) == 0
+        out_graph = read_edgelist(io.StringIO(capsys.readouterr().out))
+        expected = extract_maximal_chordal_subgraph(g)
+        assert np.array_equal(out_graph.edge_array(), expected.edges)
+
+    def test_process_engine_bit_identical_to_api(self, tmp_path):
+        """Acceptance: repro extract --engine process on an .mtx file
+        produces edges bit-identical to the in-process API."""
+        g = rmat_er(7, seed=11)
+        src = tmp_path / "g.mtx"
+        write_mtx(g, src)
+        out = tmp_path / "chordal.txt"
+        assert main(["extract", str(src), "--engine", "process",
+                     "--num-workers", "2", "-o", str(out), "--quiet"]) == 0
+        expected = extract_maximal_chordal_subgraph(
+            g, engine="process", schedule="synchronous", num_workers=2
+        )
+        assert np.array_equal(load_graph(out).edge_array(), expected.edges)
+
+    def test_stdin_dash(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 1\n1 2\n0 2\n2 3\n"))
+        assert main(["extract", "-", "--quiet"]) == 0
+        out_graph = read_edgelist(io.StringIO(capsys.readouterr().out))
+        assert out_graph.num_edges >= 3
+
+    def test_stdin_honors_input_format(self, capsys, monkeypatch):
+        g = rmat_er(6, seed=9)
+        buf = io.StringIO()
+        write_mtx(g, buf)
+        monkeypatch.setattr("sys.stdin", io.StringIO(buf.getvalue()))
+        assert main(["extract", "-", "--input-format", "mtx", "--quiet"]) == 0
+        out_graph = read_edgelist(io.StringIO(capsys.readouterr().out))
+        expected = extract_maximal_chordal_subgraph(g)
+        assert np.array_equal(out_graph.edge_array(), expected.edges)
+
+    def test_stdin_npz_rejected(self, capsys):
+        assert main(["extract", "-", "--input-format", "npz"]) == 2
+        assert "stdin" in capsys.readouterr().err
+
+    def test_stdout_honors_output_format(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        save_graph(rmat_er(6, seed=1), src)
+        assert main(["extract", str(src), "--output-format", "mtx",
+                     "--quiet"]) == 0
+        assert capsys.readouterr().out.startswith("%%MatrixMarket")
+
+    def test_stdout_npz_rejected(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        save_graph(rmat_er(6, seed=1), src)
+        assert main(["extract", str(src), "--output-format", "npz"]) == 2
+        assert "stdout" in capsys.readouterr().err
+
+    def test_invalid_knob_combination_exits_2(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        save_graph(rmat_er(6, seed=1), src)
+        assert main(["extract", str(src), "--engine", "process",
+                     "--schedule", "asynchronous"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_out_dir_name_collision_rejected(self, tmp_path, capsys):
+        a, b = tmp_path / "g.mtx", tmp_path / "g.edges"
+        save_graph(rmat_er(6, seed=1), a)
+        save_graph(rmat_er(6, seed=2), b)
+        assert main(["extract", str(a), str(b),
+                     "--out-dir", str(tmp_path / "out")]) == 2
+        assert "map to" in capsys.readouterr().err
+
+    def test_multiple_inputs_need_out_dir(self, tmp_path, capsys):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        save_graph(rmat_er(6, seed=1), a)
+        save_graph(rmat_er(6, seed=2), b)
+        assert main(["extract", str(a), str(b)]) == 2
+        assert "--out-dir" in capsys.readouterr().err
+
+    def test_batch_out_dir_shares_pool(self, tmp_path):
+        inputs = []
+        for i in range(3):
+            path = tmp_path / f"g{i}.txt"
+            save_graph(rmat_er(6, seed=i), path)
+            inputs.append(str(path))
+        out_dir = tmp_path / "out"
+        assert main(["extract", *inputs, "--out-dir", str(out_dir),
+                     "--engine", "process", "--num-workers", "2",
+                     "--quiet"]) == 0
+        for i in range(3):
+            result = load_graph(out_dir / f"g{i}.chordal.txt")
+            expected = extract_maximal_chordal_subgraph(
+                rmat_er(6, seed=i), engine="process", schedule="synchronous",
+                num_workers=2,
+            )
+            assert np.array_equal(result.edge_array(), expected.edges)
+
+    def test_stats_line_on_stderr(self, tmp_path, capsys):
+        src = tmp_path / "g.txt"
+        save_graph(rmat_er(6, seed=1), src)
+        assert main(["extract", str(src), "-o", str(tmp_path / "o.txt")]) == 0
+        err = capsys.readouterr().err
+        assert "chordal=" in err and "engine=superstep" in err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["extract", str(tmp_path / "nope.mtx")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mtx"
+        bad.write_text("this is not\na matrix market file\n")
+        assert main(["extract", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_missing_checkout_reports_error(self, monkeypatch, capsys, tmp_path):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "_repo_root", lambda: tmp_path)
+        assert main(["bench"]) == 2
+        assert "source checkout" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_regression_guard_runs(self):
+        assert main(["bench"]) == 0
+
+
+class TestPipe:
+    def test_generate_extract_pipe_subprocess(self, tmp_path):
+        """`python -m repro generate | python -m repro extract -` end to end."""
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        generate = subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "rmat-er",
+             "--scale", "6", "--seed", "1"],
+            capture_output=True, text=True, env=env, cwd=root, timeout=120,
+        )
+        assert generate.returncode == 0, generate.stderr
+        extract = subprocess.run(
+            [sys.executable, "-m", "repro", "extract", "-", "--quiet"],
+            input=generate.stdout, capture_output=True, text=True, env=env,
+            cwd=root, timeout=120,
+        )
+        assert extract.returncode == 0, extract.stderr
+        piped = read_edgelist(io.StringIO(extract.stdout))
+        expected = extract_maximal_chordal_subgraph(rmat_er(6, seed=1))
+        assert np.array_equal(piped.edge_array(), expected.edges)

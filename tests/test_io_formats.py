@@ -1,0 +1,301 @@
+"""Tests for the dataset-ingestion formats: MatrixMarket, gzip, SNAP,
+auto-detection and the load/save dispatchers (PR 2 batch pipeline)."""
+
+import gzip
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_graph, compact_labels
+from repro.graph.generators.rmat import rmat_er, rmat_g
+from repro.graph.io import (
+    FORMATS,
+    detect_format,
+    load_graph,
+    read_edgelist,
+    read_mtx,
+    read_snap,
+    save_graph,
+    write_edgelist,
+    write_metis,
+    write_mtx,
+)
+
+
+@pytest.fixture
+def sample():
+    # Vertex 5 is isolated — formats must preserve it.
+    return build_graph(6, [(0, 1), (1, 2), (3, 4)])
+
+
+class TestMtx:
+    def test_roundtrip_file(self, sample, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_mtx(sample, path)
+        assert read_mtx(path) == sample
+
+    def test_roundtrip_stream(self, sample):
+        buf = io.StringIO()
+        write_mtx(sample, buf)
+        buf.seek(0)
+        assert read_mtx(buf) == sample
+
+    def test_rmat_roundtrip(self, tmp_path):
+        g = rmat_g(7, seed=9)
+        path = tmp_path / "rmat.mtx"
+        write_mtx(g, path)
+        assert read_mtx(path) == g
+
+    def test_writer_emits_pattern_symmetric_lower_triangle(self, sample):
+        buf = io.StringIO()
+        write_mtx(sample, buf)
+        lines = [l for l in buf.getvalue().splitlines() if not l.startswith("%")]
+        assert lines[0] == "6 6 3"
+        for line in lines[1:]:
+            row, col = map(int, line.split())
+            assert row > col  # symmetric storage: lower triangle, 1-based
+
+    def test_real_field_weights_ignored(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% weighted adjacency\n"
+            "3 3 2\n"
+            "1 2 0.5\n"
+            "3 1 -2.25\n"
+        )
+        g = read_mtx(io.StringIO(text))
+        assert g.edge_set() == {(0, 1), (0, 2)}
+
+    def test_general_symmetry_mirrored_entries_collapse(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 3\n1 2\n2 1\n2 3\n"
+        )
+        g = read_mtx(io.StringIO(text))
+        assert g.edge_set() == {(0, 1), (1, 2)}
+
+    def test_diagonal_dropped(self):
+        text = "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n2 2\n2 1\n"
+        g = read_mtx(io.StringIO(text))
+        assert g.edge_set() == {(0, 1)}
+
+    def test_pattern_file_with_weight_columns_accepted(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1 1.0\n3 2 1.0\n"
+        )
+        assert read_mtx(io.StringIO(text)).edge_set() == {(0, 1), (1, 2)}
+
+    def test_truncated_weighted_file_rejected(self):
+        # Declares 'integer' (3 tokens/entry) but carries exactly 2 per
+        # entry — a truncated download, not a pattern file in disguise.
+        text = (
+            "%%MatrixMarket matrix coordinate integer symmetric\n"
+            "3 3 3\n2 1 1\n3 1 1\n"
+        )
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_mtx(io.StringIO(text))
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("not a banner\n1 1 0\n", "banner"),
+            ("%%MatrixMarket matrix array real general\n2 2\n", "coordinate"),
+            ("%%MatrixMarket matrix coordinate complex symmetric\n1 1 0\n", "field"),
+            ("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", "symmetry"),
+            ("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n", "square"),
+            ("%%MatrixMarket matrix coordinate pattern symmetric\n", "size line"),
+            ("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 2\n1 2\n", "declares"),
+            ("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 5\n", "range"),
+            ("%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 x\n", "token"),
+        ],
+    )
+    def test_malformed_rejected(self, text, match):
+        with pytest.raises(GraphFormatError, match=match):
+            read_mtx(io.StringIO(text))
+
+
+class TestGzip:
+    def test_edgelist_gz_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        write_edgelist(sample, path)
+        with gzip.open(path, "rb") as fh:  # really compressed, not renamed
+            assert fh.read(10).startswith(b"# vertices")
+        assert read_edgelist(path) == sample
+
+    def test_mtx_gz_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.mtx.gz"
+        write_mtx(sample, path)
+        assert read_mtx(path) == sample
+
+    def test_load_save_graph_gz(self, tmp_path):
+        g = rmat_er(7, seed=2)
+        path = tmp_path / "g.txt.gz"
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+
+class TestSnap:
+    TEXT = (
+        "# Directed graph (each unordered pair of nodes is saved once)\n"
+        "# Example SNAP-style dump\n"
+        "# Nodes: 3 Edges: 3\n"
+        "# FromNodeId\tToNodeId\n"
+        "100\t7\n"
+        "205\t100\n"
+        "7\t205\n"
+    )
+
+    def test_noncontiguous_ids_compacted(self):
+        g, labels = read_snap(io.StringIO(self.TEXT))
+        assert g.num_vertices == 3
+        assert list(labels) == [7, 100, 205]
+        # labels[new] = old: edge (100, 7) becomes (1, 0), etc.
+        assert g.edge_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_duplicate_and_reverse_edges_collapse(self):
+        g, _ = read_snap(io.StringIO("5 9\n9 5\n5 9\n"))
+        assert g.num_edges == 1
+
+    def test_empty(self):
+        g, labels = read_snap(io.StringIO("# nothing\n"))
+        assert g.num_vertices == 0 and labels.size == 0
+
+    def test_odd_token_count_rejected(self):
+        with pytest.raises(GraphFormatError, match="even number"):
+            read_snap(io.StringIO("1 2\n3\n"))
+
+    def test_non_integer_ids_rejected(self):
+        with pytest.raises(GraphFormatError, match="integers"):
+            read_snap(io.StringIO("1.5 2\n"))
+
+    def test_file_roundtrip_via_load_graph(self, tmp_path):
+        path = tmp_path / "g.snap"
+        path.write_text(self.TEXT)
+        assert load_graph(path).num_edges == 3
+
+
+class TestCompactLabels:
+    def test_negative_and_sparse_ids(self):
+        k, relabeled, labels = compact_labels(np.array([[-5, 3], [3, 999]]))
+        assert k == 3
+        assert list(labels) == [-5, 3, 999]
+        assert relabeled.tolist() == [[0, 1], [1, 2]]
+
+    def test_empty(self):
+        k, relabeled, labels = compact_labels(np.empty((0, 2), dtype=np.int64))
+        assert k == 0 and relabeled.shape == (0, 2) and labels.size == 0
+
+
+class TestDetectFormat:
+    @pytest.mark.parametrize(
+        "name, fmt",
+        [
+            ("a.mtx", "mtx"),
+            ("a.mm", "mtx"),
+            ("a.npz", "npz"),
+            ("a.metis", "metis"),
+            ("a.graph", "metis"),
+            ("a.snap", "snap"),
+            ("a.edges", "edgelist"),
+            ("a.el", "edgelist"),
+            ("a.mtx.gz", "mtx"),
+            ("a.edges.gz", "edgelist"),
+        ],
+    )
+    def test_by_extension(self, name, fmt):
+        assert detect_format(name) == fmt
+
+    def test_txt_is_sniffed_not_assumed(self, tmp_path):
+        """Real SNAP dumps ship as .txt — the generic extension must go
+        through content sniffing so sparse-id files hit the snap reader."""
+        ours = tmp_path / "ours.txt"
+        write_edgelist(rmat_er(6, seed=1), ours)
+        assert detect_format(ours) == "edgelist"
+        snap = tmp_path / "ca-GrQc.txt"
+        snap.write_text("# Undirected graph: ca-GrQc\n5 1000000000\n")
+        assert detect_format(snap) == "snap"
+        assert load_graph(snap).num_vertices == 2  # compacted, not max_id+1
+
+    def test_txt_gz_sniffed_through_gzip(self, tmp_path):
+        g = rmat_er(6, seed=1)
+        path = tmp_path / "g.txt.gz"
+        write_edgelist(g, path)
+        assert detect_format(path) == "edgelist"
+        assert load_graph(path) == g
+
+    def test_sniff_mtx_banner(self, tmp_path):
+        path = tmp_path / "noext"
+        write_mtx(rmat_er(6, seed=1), path)
+        assert detect_format(path) == "mtx"
+
+    def test_sniff_edgelist_header(self, tmp_path):
+        path = tmp_path / "noext"
+        write_edgelist(rmat_er(6, seed=1), path)
+        assert detect_format(path) == "edgelist"
+
+    def test_sniff_metis_comment(self, tmp_path):
+        buf = io.StringIO()
+        write_metis(rmat_er(6, seed=1), buf)
+        path = tmp_path / "noext"
+        path.write_text("% metis file\n" + buf.getvalue())
+        assert detect_format(path) == "metis"
+
+    def test_sniff_snap_comment(self, tmp_path):
+        path = tmp_path / "noext"
+        path.write_text(TestSnap.TEXT)
+        assert detect_format(path) == "snap"
+
+    def test_sniff_npz_magic(self, tmp_path):
+        path = tmp_path / "noext"
+        save_graph(rmat_er(6, seed=1), tmp_path / "g.npz")
+        (tmp_path / "g.npz").rename(path)
+        assert detect_format(path) == "npz"
+
+    def test_unknown_rejected(self, tmp_path):
+        path = tmp_path / "noext"
+        path.write_text("a b c d\n")
+        with pytest.raises(GraphFormatError, match="detect"):
+            detect_format(path)
+
+    def test_binary_junk_raises_graph_format_error(self, tmp_path):
+        path = tmp_path / "noext"
+        path.write_bytes(b"\x89PNG\r\n\x1a\n" + bytes(range(256)))
+        with pytest.raises(GraphFormatError, match="sniff"):
+            detect_format(path)
+
+    def test_missing_file_raises_graph_format_error(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="sniff"):
+            detect_format(tmp_path / "missing")
+
+    def test_strip_format_extension(self):
+        from repro.graph.io import strip_format_extension
+
+        assert strip_format_extension("ca-GrQc.txt.gz") == "ca-GrQc"
+        assert strip_format_extension("g.mtx") == "g"
+        assert strip_format_extension("g.unknown") == "g.unknown"
+
+
+class TestLoadSaveGraph:
+    @pytest.mark.parametrize("ext", ["txt", "mtx", "metis", "npz", "txt.gz", "mtx.gz"])
+    def test_roundtrip_every_format(self, ext, tmp_path):
+        g = rmat_g(7, seed=5)
+        path = tmp_path / f"g.{ext}"
+        save_graph(g, path)
+        assert load_graph(path) == g
+
+    def test_explicit_format_overrides_extension(self, sample, tmp_path):
+        path = tmp_path / "weird.dat"
+        save_graph(sample, path, format="mtx")
+        assert load_graph(path, format="mtx") == sample
+
+    def test_unknown_format_rejected(self, sample, tmp_path):
+        with pytest.raises(GraphFormatError, match="unknown graph format"):
+            save_graph(sample, tmp_path / "g.txt", format="dot")
+        with pytest.raises(GraphFormatError, match="unknown graph format"):
+            load_graph(tmp_path / "missing.txt", format="dot")
+
+    def test_formats_tuple_is_public_contract(self):
+        assert set(FORMATS) == {"edgelist", "mtx", "metis", "npz", "snap"}
