@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Record the asynchronous-schedule baseline (BENCH_async.json).
+
+Measures the paper's headline schedule on RMAT-ER at scales 11–14 (the
+Figure-4 range) three ways:
+
+* ``threaded`` asynchronous — the GIL-bound thread team sweeping live
+  state with per-pair Python services (the only true-parallel *shaped*
+  async engine before the process engine gained the schedule);
+* ``process`` asynchronous — vertex-partitioned workers sweeping live
+  shared-memory slices with the bulk live-arena kernels
+  (:func:`repro.core.kernels.subset_mask_live`);
+* ``process`` synchronous — the barrier-snapshot reference point, same
+  pool.
+
+Process-engine timings use one persistent :class:`ProcessPool` (steady-
+state throughput; spawn cost is the batch pipeline's concern and is
+tracked by ``BENCH_batch.json``).  Every timed configuration is first
+verified to produce a chordal subgraph.  The recorded
+``speedup_vs_threaded`` is what the README's engine matrix quotes; the
+regression guard re-measures the process-async rows at the scales in
+``GUARD_SCALES`` against this baseline.
+
+Re-record on a quiet machine after intentional changes:
+
+    PYTHONPATH=src python benchmarks/bench_async_process.py
+    # or: repro bench --record-async
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+ASYNC_PATH = Path(__file__).resolve().parent / "BENCH_async.json"
+
+#: RMAT-ER scales recorded (|V| = 2^scale, |E| = 8 * |V|).
+SCALES = (11, 12, 13, 14)
+
+#: Scales the tier-2 regression guard re-measures (kept to the small end
+#: so `repro bench` stays quick; the full range is record-time only).
+GUARD_SCALES = (11, 12)
+
+NUM_WORKERS = 4
+NUM_THREADS = 4
+REPEATS = 3
+SEED = 1
+
+
+def build_graph(scale: int):
+    from repro.graph.generators.rmat import rmat_er
+
+    return rmat_er(scale, seed=SEED)
+
+
+def measure_process_async(
+    scale: int, *, num_workers: int = NUM_WORKERS, repeats: int = REPEATS
+) -> float:
+    """Median seconds of one process-engine asynchronous extraction at
+    ``scale`` over a persistent pool (shared with the regression guard)."""
+    from repro.core.procpool import ProcessPool
+    from repro.util.timing import median_of
+
+    graph = build_graph(scale)
+    with ProcessPool(graph, num_workers=num_workers) as pool:
+        return median_of(lambda: pool.extract(schedule="asynchronous"), repeats)
+
+
+def record(path: Path = ASYNC_PATH, repeats: int = REPEATS) -> dict:
+    from repro.chordality.recognition import is_chordal
+    from repro.core.procpool import ProcessPool
+    from repro.core.threaded import threaded_max_chordal
+    from repro.graph.ops import edge_subgraph
+    from repro.util.timing import median_of
+
+    scales_payload: dict[str, dict] = {}
+    with ProcessPool(num_workers=NUM_WORKERS) as pool:
+        for scale in SCALES:
+            graph = build_graph(scale)
+
+            def run_threaded():
+                return threaded_max_chordal(
+                    graph, num_threads=NUM_THREADS, schedule="asynchronous"
+                )
+
+            def run_process_async():
+                return pool.extract(graph, schedule="asynchronous")
+
+            def run_process_sync():
+                return pool.extract(graph, schedule="synchronous")
+
+            # Correctness before speed: every timed path must be chordal.
+            for name, run in (
+                ("threaded", run_threaded),
+                ("process-async", run_process_async),
+                ("process-sync", run_process_sync),
+            ):
+                edges, _ = run()
+                assert is_chordal(edge_subgraph(graph, edges)), (scale, name)
+
+            threaded_s = median_of(run_threaded, repeats)
+            process_async_s = median_of(run_process_async, repeats)
+            process_sync_s = median_of(run_process_sync, repeats)
+            row = {
+                "num_vertices": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "threaded_async_seconds": threaded_s,
+                "process_async_seconds": process_async_s,
+                "process_sync_seconds": process_sync_s,
+                "speedup_vs_threaded": threaded_s / process_async_s,
+            }
+            scales_payload[str(scale)] = row
+            print(
+                f"scale {scale}: threaded-async {threaded_s:8.3f} s | "
+                f"process-async {process_async_s:8.3f} s | "
+                f"process-sync {process_sync_s:8.3f} s | "
+                f"async speedup {row['speedup_vs_threaded']:6.2f} x"
+            )
+
+    payload = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host_cores": os.cpu_count(),
+        "family": "rmat_er",
+        "seed": SEED,
+        "num_workers": NUM_WORKERS,
+        "num_threads": NUM_THREADS,
+        "repeats": repeats,
+        "scales": scales_payload,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    record()

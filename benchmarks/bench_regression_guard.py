@@ -1,16 +1,25 @@
-"""Tier-2 guard: fail when a hot kernel regresses >2x against the baseline.
+"""Tier-2 guard: fail when a hot path regresses >2x against its baseline.
 
-Compares the current median wall-clock of every kernel registered in
-``benchmarks/record_baseline.py`` against the committed
-``benchmarks/BENCH_kernels.json``.  Not part of tier-1 (``bench_*`` files
-are not collected by default); run it explicitly:
+Three committed baselines are guarded:
+
+* ``BENCH_kernels.json`` — per-kernel median wall-clock of every kernel
+  registered in ``benchmarks/record_baseline.py``;
+* ``BENCH_batch.json`` — ``extract_many`` batch throughput over one
+  persistent process pool (``benchmarks/record_batch_baseline.py``);
+* ``BENCH_async.json`` — the asynchronous process engine at the scales in
+  ``bench_async_process.GUARD_SCALES`` (the full 11–14 range is record-
+  time only, to keep this guard quick).
+
+Not part of tier-1 (``bench_*`` files are not collected by default); run
+explicitly:
 
     PYTHONPATH=src python -m pytest benchmarks/bench_regression_guard.py -q
 
 The 2x factor absorbs machine-to-machine and load noise; a genuine
-algorithmic regression (e.g. un-vectorizing a kernel) is far larger.
-After an *intentional* slowdown, re-record with
-``python benchmarks/record_baseline.py`` and commit the new baseline.
+algorithmic regression (e.g. un-vectorizing a kernel, serialising the
+async sweep) is far larger.  After an *intentional* slowdown, re-record
+the relevant baseline (``repro bench --record`` / ``--record-batch`` /
+``--record-async``) and commit it.
 """
 
 from __future__ import annotations
@@ -19,7 +28,9 @@ import json
 
 import pytest
 
+from bench_async_process import ASYNC_PATH, GUARD_SCALES, measure_process_async
 from record_baseline import BASELINE_PATH, build_kernels, median_seconds
+from record_batch_baseline import BATCH_PATH, NUM_GRAPHS, NUM_WORKERS, build_graphs
 
 #: Maximum tolerated current/baseline ratio.
 MAX_REGRESSION = 2.0
@@ -31,6 +42,16 @@ if BASELINE_PATH.exists():
     _BASELINE = json.loads(BASELINE_PATH.read_text())["median_seconds"]
 else:  # pragma: no cover - fresh checkout without a recorded baseline
     _BASELINE = {}
+
+if BATCH_PATH.exists():
+    _BATCH_BASELINE = json.loads(BATCH_PATH.read_text())
+else:  # pragma: no cover - fresh checkout without a recorded baseline
+    _BATCH_BASELINE = {}
+
+if ASYNC_PATH.exists():
+    _ASYNC_BASELINE = json.loads(ASYNC_PATH.read_text())
+else:  # pragma: no cover - fresh checkout without a recorded baseline
+    _ASYNC_BASELINE = {}
 
 
 @pytest.fixture(scope="module")
@@ -56,4 +77,47 @@ def test_kernel_not_regressed(kernels, name):
         f"{name}: {current * 1e3:.2f} ms vs baseline "
         f"{_BASELINE[name] * 1e3:.2f} ms ({ratio:.2f}x > {MAX_REGRESSION}x); "
         "if intentional, re-run benchmarks/record_baseline.py"
+    )
+
+
+@pytest.mark.skipif(not _BATCH_BASELINE, reason="no committed BENCH_batch.json")
+def test_batch_throughput_not_regressed():
+    """extract_many over one persistent pool must stay within 2x of the
+    recorded batch wall-clock (BENCH_batch.json)."""
+    from repro.core.extract import extract_many
+    from repro.util.timing import median_of
+
+    graphs = build_graphs()
+    current = median_of(
+        lambda: extract_many(graphs, engine="process", num_workers=NUM_WORKERS),
+        3,
+    )
+    baseline = max(_BATCH_BASELINE["batch_seconds"], MIN_MEANINGFUL_SECONDS)
+    ratio = current / baseline
+    assert ratio <= MAX_REGRESSION, (
+        f"extract_many over {NUM_GRAPHS} graphs: {current:.3f} s vs baseline "
+        f"{_BATCH_BASELINE['batch_seconds']:.3f} s ({ratio:.2f}x > "
+        f"{MAX_REGRESSION}x); if intentional, re-run "
+        "benchmarks/record_batch_baseline.py"
+    )
+
+
+@pytest.mark.skipif(not _ASYNC_BASELINE, reason="no committed BENCH_async.json")
+@pytest.mark.parametrize("scale", GUARD_SCALES)
+def test_async_process_not_regressed(scale):
+    """The asynchronous process engine must stay within 2x of the recorded
+    per-extraction wall-clock at the guarded scales (BENCH_async.json)."""
+    row = _ASYNC_BASELINE["scales"].get(str(scale))
+    if row is None:
+        pytest.skip(f"scale {scale} not in recorded baseline; re-record")
+    current = measure_process_async(
+        scale, num_workers=_ASYNC_BASELINE["num_workers"], repeats=3
+    )
+    baseline = max(row["process_async_seconds"], MIN_MEANINGFUL_SECONDS)
+    ratio = current / baseline
+    assert ratio <= MAX_REGRESSION, (
+        f"process-async at scale {scale}: {current:.3f} s vs baseline "
+        f"{row['process_async_seconds']:.3f} s ({ratio:.2f}x > "
+        f"{MAX_REGRESSION}x); if intentional, re-run "
+        "benchmarks/bench_async_process.py"
     )

@@ -40,6 +40,7 @@ from repro.chordality import (
     mcs_peo,
     lexbfs_peo,
     is_perfect_elimination_ordering,
+    verify_extraction,
 )
 from repro.graph import (
     CSRGraph,
@@ -76,6 +77,7 @@ __all__ = [
     "stitch_components",
     "is_chordal",
     "is_maximal_chordal_subgraph",
+    "verify_extraction",
     "mcs_peo",
     "lexbfs_peo",
     "is_perfect_elimination_ordering",

@@ -19,6 +19,7 @@ from repro.chordality.maximality import (
     addable_edges_slow,
     assert_valid_extraction,
 )
+from repro.chordality.verify import VerificationReport, verify_extraction
 
 __all__ = [
     "mcs_order",
@@ -34,4 +35,6 @@ __all__ = [
     "addable_edges",
     "addable_edges_slow",
     "assert_valid_extraction",
+    "VerificationReport",
+    "verify_extraction",
 ]

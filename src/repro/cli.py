@@ -12,7 +12,12 @@ Subcommands
     schedule knob of :func:`repro.core.extract.extract_maximal_chordal_
     subgraph`.  Multiple inputs share one persistent process pool
     (``--engine process``), i.e. the batch pipeline of
-    :func:`repro.core.extract.extract_many`.
+    :func:`repro.core.extract.extract_many`.  ``--verify`` certifies
+    every output through :func:`repro.chordality.verify_extraction`
+    (chordality always; maximality when ``--maximalize`` guarantees it) —
+    the supported way to validate the nondeterministic asynchronous
+    schedules, whose output is *any* valid extraction rather than a
+    bit-reproducible one.
 ``generate``
     Write an R-MAT / random / chordal family graph to file (or stdout).
 ``bench``
@@ -35,7 +40,8 @@ Examples
     repro experiments table1 --scales 8,9
 
 Exit codes: 0 on success, 2 on bad input (malformed graph file, missing
-path), argparse's own exit on unknown flags.
+path, unknown knob values — argparse prints its own one-line error for
+those), 3 when ``--verify`` rejects an output.
 """
 
 from __future__ import annotations
@@ -142,7 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--schedule",
         choices=SCHEDULES,
         default=None,
-        help="default: synchronous for --engine process, asynchronous otherwise",
+        help="default: synchronous for --engine process (deterministic "
+        "output files), asynchronous otherwise",
     )
     ex.add_argument("--num-workers", type=int, default=4, help="process-engine workers")
     ex.add_argument("--num-threads", type=int, default=4, help="threaded-engine threads")
@@ -156,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--maximalize",
         action="store_true",
         help="run the completion pass (certified maximal output)",
+    )
+    ex.add_argument(
+        "--verify",
+        action="store_true",
+        help="certify each output (chordal; also maximal with --maximalize) "
+        "before writing it; exit 3 on failure",
     )
     ex.add_argument(
         "-q", "--quiet", action="store_true", help="suppress per-graph stats on stderr"
@@ -189,13 +202,19 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the kernel regression guard / record baselines",
         description="Without flags, runs benchmarks/bench_regression_guard.py "
-        "(fails if any hot kernel is >2x slower than BENCH_kernels.json). "
+        "(fails if any hot kernel is >2x slower than BENCH_kernels.json, or "
+        "the batch/async engine baselines regress >2x). "
         "--record re-records the kernel baseline; --record-batch records the "
-        "extract_many batch-throughput baseline (BENCH_batch.json).",
+        "extract_many batch-throughput baseline (BENCH_batch.json); "
+        "--record-async records the asynchronous-schedule baseline "
+        "(BENCH_async.json).",
     )
     be.add_argument("--record", action="store_true", help="re-record BENCH_kernels.json")
     be.add_argument(
         "--record-batch", action="store_true", help="record BENCH_batch.json"
+    )
+    be.add_argument(
+        "--record-async", action="store_true", help="record BENCH_async.json"
     )
     be.add_argument(
         "pytest_args", nargs="*", help="extra arguments forwarded to pytest"
@@ -324,6 +343,26 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     maximalize=args.maximalize,
                     pool=pool,
                 )
+            verified = ""
+            if args.verify:
+                from repro.chordality.verify import verify_extraction
+
+                # Maximality is only guaranteed after the completion pass
+                # (Theorem 2 overclaims — see repro.chordality.maximality),
+                # so certify it exactly when --maximalize provides it.
+                report = verify_extraction(
+                    graph, result, check_maximal=args.maximalize
+                )
+                if not report.ok:
+                    print(
+                        f"repro extract: verification failed for {name}: "
+                        f"{report}",
+                        file=sys.stderr,
+                    )
+                    return 3
+                verified = " verified=chordal" + (
+                    ",maximal" if args.maximalize else ""
+                )
             target = (
                 _out_dir_target(out_dir, source, out_ext) if out_dir else args.output
             )
@@ -334,7 +373,7 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     f"chordal={result.num_chordal_edges} "
                     f"({100 * result.chordal_fraction:.1f}%) "
                     f"iterations={result.num_iterations} "
-                    f"engine={args.engine} [{timer.elapsed:.3f}s]",
+                    f"engine={args.engine}{verified} [{timer.elapsed:.3f}s]",
                     file=sys.stderr,
                 )
     finally:
@@ -358,6 +397,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     if args.record_batch:
         _load_bench_module("record_batch_baseline").record()
+        return 0
+    if args.record_async:
+        _load_bench_module("bench_async_process").record()
         return 0
     guard = _repo_root() / "benchmarks" / "bench_regression_guard.py"
     if not guard.exists():
@@ -395,7 +437,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     except (ReproError, ValueError, OSError) as exc:
         # ValueError covers argparse-valid but semantically bad knob
-        # combinations the library rejects (e.g. process + asynchronous).
+        # combinations the library rejects (e.g. pool= with a non-process
+        # engine), keeping every bad-input path a one-line error.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
 

@@ -145,7 +145,7 @@ def extract_maximal_chordal_subgraph(
         ``"superstep"`` (serial array engine, default), ``"threaded"``
         (real thread team; GIL-bound), ``"process"`` (worker-process team
         over shared memory — the only engine with real core-level
-        speedup; synchronous schedule only) or ``"reference"`` (literal
+        speedup; both schedules) or ``"reference"`` (literal
         pseudocode).
     variant:
         ``"optimized"`` (sorted adjacency) or ``"unoptimized"``.
@@ -155,10 +155,14 @@ def extract_maximal_chordal_subgraph(
         iteration counts reproduce Figure 7 (~3 iterations on R-MAT, ~10
         on the gene networks).  ``"synchronous"`` uses barrier-snapshot
         semantics (one parent per vertex per superstep) — deterministic
-        across engines and thread counts, with iteration count equal to
-        the maximum lower-degree.  The ``process`` engine supports only
-        this schedule and returns edge sets bit-identical to
-        ``engine="superstep"``.
+        across engines and thread/worker counts, with iteration count
+        equal to the maximum lower-degree; under it the ``process``
+        engine returns edge sets bit-identical to ``engine="superstep"``.
+        Under ``"asynchronous"`` the ``process`` engine runs the paper's
+        live-state sweep true-parallel: any run yields a valid chordal
+        edge set (certify with
+        :func:`repro.chordality.verify_extraction`), but the edge set is
+        not bit-reproducible across runs or worker counts.
     num_threads:
         Thread-team size for the threaded engine.
     num_workers:
@@ -204,11 +208,6 @@ def extract_maximal_chordal_subgraph(
         raise ValueError(f"renumber must be None or 'bfs', got {renumber!r}")
     if collect_trace and engine != "superstep":
         raise ValueError("collect_trace requires engine='superstep'")
-    if engine == "process" and schedule != "synchronous":
-        raise ValueError(
-            "engine='process' supports only schedule='synchronous'; "
-            "use the superstep or threaded engine for asynchronous runs"
-        )
     if pool is not None and engine != "process":
         raise ValueError("pool= is only meaningful with engine='process'")
 
@@ -240,7 +239,7 @@ def extract_maximal_chordal_subgraph(
     elif engine == "process":
         if pool is not None:
             edges, queue_sizes = pool.extract(
-                work_graph, max_iterations=max_iterations
+                work_graph, schedule=schedule, max_iterations=max_iterations
             )
         else:
             edges, queue_sizes = process_max_chordal(
@@ -316,9 +315,11 @@ def extract_many(
         Any iterable of :class:`~repro.graph.csr.CSRGraph` (consumed
         lazily, but all results are materialised into the returned list).
     schedule:
-        ``None`` (default) picks the engine's natural schedule:
-        ``"synchronous"`` for the process engine (its only option),
-        ``"asynchronous"`` otherwise — matching the single-call default.
+        ``None`` (default) picks the engine's natural batch schedule:
+        ``"synchronous"`` for the process engine (deterministic outputs —
+        every result stays bit-identical to its single-call counterpart),
+        ``"asynchronous"`` otherwise.  Pass ``"asynchronous"`` explicitly
+        to run the process engine's live-state sweep over the batch.
     pool:
         An existing open pool to reuse (``engine="process"`` only); the
         caller keeps ownership and must close it.  With ``pool=None`` a
@@ -332,6 +333,8 @@ def extract_many(
     -------
     list of :class:`ChordalResult`, in input order.
     """
+    if pool is not None and engine != "process":
+        raise ValueError("pool= is only meaningful with engine='process'")
     if schedule is None:
         schedule = "synchronous" if engine == "process" else "asynchronous"
     own_pool = engine == "process" and pool is None

@@ -1,11 +1,11 @@
-"""True-parallel process engine for Algorithm 1 (synchronous schedule).
+"""True-parallel process engine for Algorithm 1 (both schedules).
 
 The CPython GIL means the ``threaded`` engine demonstrates the paper's
 concurrency structure without ever running faster than one core.  This
 engine escapes the GIL: a persistent team of **worker processes** executes
-the barrier-synchronous schedule over state held in a single
+either schedule over state held in a single
 ``multiprocessing.shared_memory`` segment (:mod:`repro.parallel.shm`), so
-supersteps run on real cores with zero per-iteration serialisation of the
+iterations run on real cores with zero per-iteration serialisation of the
 graph or the chordal arena.
 
 Execution shape per superstep (mirrors the paper's "for all v in Q1 in
@@ -29,6 +29,42 @@ Because every subset test is evaluated against the same barrier snapshot
 regardless of worker count or timing, the edge set is **bit-identical** to
 the serial synchronous superstep engine for any number of workers.
 
+Asynchronous schedule
+---------------------
+``extract(schedule="asynchronous")`` runs the paper's headline schedule
+true-parallel: per round, vertex-partitioned workers sweep their slices of
+the live active set **without a snapshot** — subset tests probe whatever
+prefix of each parent's chordal set other workers have published by probe
+time (:func:`~repro.core.kernels.subset_mask_live`).  Correctness under
+the races this admits rests on three pillars:
+
+1. *Unique writer* — within a round each child vertex belongs to exactly
+   one worker's slice, so its ``counts`` / ``cursor`` / ``lp`` words, its
+   arena run and its edge-claim words have a single mutator at any
+   instant; cross-round ownership handoffs are sequenced by the round
+   barriers.
+2. *Ordered publication* — :func:`~repro.core.kernels.append_accepted`
+   writes every arena slot before bumping the owner's ``counts`` word, so
+   a concurrently gathered prefix length always covers fully-written,
+   sorted elements, and any element it misses is strictly larger than the
+   frozen prefix's bound (the paper's ordered-chordal-set observation).
+   A racing read can therefore only *reject* an edge, never admit a
+   chord-violating one — the conflict-resolution rule of the paper.
+3. *Lock-free edge claims* — every ``(child, parent)`` arc owns one
+   shared edge-state word, flipped ``UNDECIDED -> ACCEPTED/REJECTED``
+   exactly once via :func:`~repro.parallel.atomics.bulk_compare_and_set`;
+   a lost claim drops the arc, so no edge can be appended or reported
+   twice even if a scheduling bug double-serviced a vertex.  The final
+   accounting (accepted claims == arena append total == reported edges)
+   is verified after every asynchronous run.
+
+The output is *any-valid*: a chordal subgraph whose edge set may differ
+run to run and from the other engines (exactly like the Cray XMT runs the
+paper reports), certified by :func:`repro.chordality.verify_extraction`
+rather than by bit-identity.  Per-worker **epoch counters** in the shared
+segment let the coordinator assert, after every round, that each worker
+actually swept its slice.
+
 Batch amortisation
 ------------------
 The pool is *rebindable*: one team of workers and one shared segment serve
@@ -48,9 +84,6 @@ capacities triggers one of two growth paths:
   over a fresh, geometrically larger segment (amortised O(log) restarts
   over any batch).
 
-The asynchronous schedule is inherently a live-state sweep and is not
-offered here (requesting it raises ``ValueError``); use the ``superstep``
-or ``threaded`` engines for paper-matching asynchronous runs.
 """
 
 from __future__ import annotations
@@ -68,9 +101,11 @@ from repro.core.kernels import (
     initial_parents,
     lower_counts,
     subset_mask,
+    subset_mask_live,
 )
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
+from repro.parallel.atomics import bulk_compare_and_set
 from repro.parallel.partition import balanced_chunks
 from repro.parallel.shm import SharedArrayBlock, layout_size
 
@@ -87,10 +122,21 @@ _CTRL_GEN = 4
 _CTRL_N_CAP = 5
 _CTRL_NNZ_CAP = 6
 _CTRL_ARENA_CAP = 7
-_CTRL_SLOTS = 8
+_CTRL_SCHEDULE = 8
+_CTRL_SLOTS = 9
 
 _CMD_RUN = 0
 _CMD_SHUTDOWN = 1
+
+_SCHED_SYNC = 0
+_SCHED_ASYNC = 1
+
+#: Edge-state claim words: one per (child, parent) arc, indexed by
+#: ``offsets[w] + cursor`` (the arc's position in the child's lower-
+#: neighbor prefix).  Flipped away from UNDECIDED exactly once.
+EDGE_UNDECIDED = 0
+EDGE_ACCEPTED = 1
+EDGE_REJECTED = 2
 
 
 def _build_spec(
@@ -115,6 +161,8 @@ def _build_spec(
         "lp": ("int64", (n_cap,)),
         "active": ("int64", (n_cap,)),
         "parents": ("int64", (n_cap,)),
+        "edge_state": ("int64", (arena_cap,)),
+        "epochs": ("int64", (num_workers,)),
         "ok": ("uint8", (n_cap,)),
     }
 
@@ -140,6 +188,41 @@ def _run_slice(tid: int, a: dict[str, np.ndarray]) -> None:
     )
     a["ok"][start:stop] = ok
     append_accepted(a["arena"], a["offsets"], a["counts"], ws, vs, ok)
+    advance_parents(a["indptr"], a["indices"], a["lower"], a["cursor"], a["lp"], ws)
+
+
+def _run_slice_async(tid: int, a: dict[str, np.ndarray]) -> None:
+    """One worker's share of one asynchronous round (live-state sweep).
+
+    Unlike :func:`_run_slice` there is no barrier snapshot: subset tests
+    probe whatever prefix of each parent's chordal set is published at
+    probe time (:func:`~repro.core.kernels.subset_mask_live`), so the
+    accepted edge set depends on worker timing.  Safety rests on the
+    unique-writer discipline — this worker is the only mutator of its
+    children's ``counts`` / ``cursor`` / ``lp`` words, arena runs and
+    edge-claim words — plus the append-before-count-bump publication
+    order inside :func:`~repro.core.kernels.append_accepted`.
+    """
+    ctrl = a["control"]
+    n = int(ctrl[_CTRL_N])
+    cuts = a["cuts"]
+    start, stop = int(cuts[tid]), int(cuts[tid + 1])
+    if start >= stop:
+        return
+    ws = a["active"][start:stop]
+    vs = a["parents"][start:stop]
+    offsets = a["offsets"]
+    ok = subset_mask_live(a["arena"], offsets, a["counts"], ws, vs, n)
+    # Claim each (child, parent) arc exactly once: its edge-state word
+    # flips UNDECIDED -> ACCEPTED/REJECTED via compare-and-set.  A lost
+    # claim (word already decided) drops the arc, so a double-serviced
+    # vertex can never append or report an edge twice — the conflict-
+    # resolution rule the live sweep needs in place of the barrier.
+    arcs = offsets[ws] + a["cursor"][ws]
+    decisions = np.where(ok, EDGE_ACCEPTED, EDGE_REJECTED)
+    ok &= bulk_compare_and_set(a["edge_state"], arcs, EDGE_UNDECIDED, decisions)
+    a["ok"][start:stop] = ok
+    append_accepted(a["arena"], offsets, a["counts"], ws, vs, ok)
     advance_parents(a["indptr"], a["indices"], a["lower"], a["cursor"], a["lp"], ws)
 
 
@@ -172,10 +255,19 @@ def _worker_main(tid, shm_name, caps, num_workers, start_barrier, done_barrier) 
                     )
                 )
                 ctrl = block.arrays["control"]
+            run = (
+                _run_slice_async
+                if int(ctrl[_CTRL_SCHEDULE]) == _SCHED_ASYNC
+                else _run_slice
+            )
             try:
-                _run_slice(tid, block.arrays)
+                run(tid, block.arrays)
             except BaseException:  # noqa: BLE001 - flag forwarded to coordinator
                 ctrl[_CTRL_ERROR] = tid + 1
+            # Publish liveness: the coordinator zeroed the epoch words
+            # before releasing the start barrier and asserts every worker
+            # reached this line (single aligned-word store per worker).
+            block.arrays["epochs"][tid] += 1
             done_barrier.wait()
     except threading.BrokenBarrierError:
         return
@@ -272,6 +364,7 @@ class ProcessPool:
         self._bound: CSRGraph | None = None
         self._n = 0
         self._nnz = 0
+        self._arena_used = 0
         self._max_degree = 0
         self._trivial_bound = True
         if graph is not None:
@@ -294,6 +387,7 @@ class ProcessPool:
         self._bound = graph
         self._n = n
         self._nnz = int(g.indices.size)
+        self._arena_used = cap
         self._max_degree = g.max_degree()
         self._trivial_bound = n == 0 or cap == 0
         if self._trivial_bound:
@@ -397,6 +491,7 @@ class ProcessPool:
         self,
         graph: CSRGraph | None = None,
         *,
+        schedule: str = "synchronous",
         max_iterations: int | None = None,
     ) -> tuple[np.ndarray, list[int]]:
         """Run one extraction; returns ``(edges, queue_sizes)``.
@@ -404,12 +499,24 @@ class ProcessPool:
         With ``graph`` given, rebinds the pool to it first (cheap when the
         graph fits the current capacities).  With ``graph=None``, runs on
         the currently bound graph.  Resets the shared Algorithm 1 state,
-        then drives barrier-separated supersteps until no vertex has a
-        parent left.  Deterministic: the result is independent of
+        then drives barrier-separated rounds until no vertex has a parent
+        left.
+
+        ``schedule="synchronous"`` (default) is deterministic: the result
+        is bit-identical to the serial superstep engine, independent of
         ``num_workers`` and of whatever graphs the pool served before.
+        ``schedule="asynchronous"`` sweeps live state (see the module
+        docstring): the result is any valid chordal edge set and may
+        differ run to run — certify it with
+        :func:`repro.chordality.verify_extraction`.
         """
         if self._closed:
             raise RuntimeError("ProcessPool is closed")
+        if schedule not in ("synchronous", "asynchronous"):
+            raise ValueError(
+                "schedule must be 'synchronous' or 'asynchronous', "
+                f"got {schedule!r}"
+            )
         if graph is not None and graph is not self._bound:
             self.bind(graph)
         if self._bound is None:
@@ -418,6 +525,7 @@ class ProcessPool:
             )
         if self._trivial_bound:
             return np.empty((0, 2), dtype=np.int64), []
+        is_async = schedule == "asynchronous"
         a = self._block.arrays
         ctrl = a["control"]
         n = self._n
@@ -426,6 +534,9 @@ class ProcessPool:
         a["lp"][:n] = initial_parents(
             a["indptr"][: n + 1], a["indices"][: self._nnz], a["lower"][:n]
         )
+        if is_async:
+            a["edge_state"][: self._arena_used] = EDGE_UNDECIDED
+        ctrl[_CTRL_SCHEDULE] = _SCHED_ASYNC if is_async else _SCHED_SYNC
 
         queue_sizes: list[int] = []
         chunks: list[tuple[np.ndarray, np.ndarray]] = []
@@ -445,16 +556,22 @@ class ProcessPool:
             queue_sizes.append(int(np.unique(parents).size))
             a["active"][:na] = active
             a["parents"][:na] = parents
-            a["snapshot"][:n] = a["counts"][:n]
-            nkeys = build_arena_keys(
-                a["arena"], a["offsets"], a["snapshot"][:n], n, out=a["keys"]
-            ).size
-            # Balance slices by subset-test cost (|C[w]| probes + constant).
-            ranges = balanced_chunks(
-                a["snapshot"][:n][active].astype(np.float64) + 1.0, self.num_workers
-            )
+            if is_async:
+                # No snapshot, no key compression: workers probe the live
+                # arena.  Balance by the current chordal-set sizes.
+                nkeys = 0
+                weights = a["counts"][:n][active].astype(np.float64) + 1.0
+            else:
+                a["snapshot"][:n] = a["counts"][:n]
+                nkeys = build_arena_keys(
+                    a["arena"], a["offsets"], a["snapshot"][:n], n, out=a["keys"]
+                ).size
+                # Balance slices by subset-test cost (|C[w]| probes + constant).
+                weights = a["snapshot"][:n][active].astype(np.float64) + 1.0
+            ranges = balanced_chunks(weights, self.num_workers)
             a["cuts"][: self.num_workers] = [r[0] for r in ranges]
             a["cuts"][self.num_workers] = ranges[-1][1]
+            a["epochs"][: self.num_workers] = 0
             ctrl[_CTRL_CMD] = _CMD_RUN
             ctrl[_CTRL_NKEYS] = nkeys
             ctrl[_CTRL_ERROR] = 0
@@ -463,10 +580,33 @@ class ProcessPool:
                 raise RuntimeError(
                     f"worker {int(ctrl[_CTRL_ERROR]) - 1} failed during a superstep"
                 )
+            lagging = np.flatnonzero(a["epochs"][: self.num_workers] != 1)
+            if lagging.size:  # pragma: no cover - structural invariant
+                raise RuntimeError(
+                    f"workers {lagging.tolist()} missed a round (epoch "
+                    "counter not bumped); the shared segment is inconsistent"
+                )
             accepted = a["ok"][:na].astype(bool)
             chunks.append((parents[accepted], active[accepted]))
 
-        return assemble_edges(chunks), queue_sizes
+        edges = assemble_edges(chunks)
+        if is_async:
+            # Claim accounting: every reported edge corresponds to exactly
+            # one won ACCEPTED claim and one arena append.  A mismatch
+            # means the lock-free discipline was violated somewhere.
+            claimed = int(
+                np.count_nonzero(
+                    a["edge_state"][: self._arena_used] == EDGE_ACCEPTED
+                )
+            )
+            appended = int(a["counts"][:n].sum())
+            if not (claimed == appended == edges.shape[0]):
+                raise RuntimeError(
+                    "asynchronous claim accounting diverged: "
+                    f"{claimed} accepted claims, {appended} arena appends, "
+                    f"{edges.shape[0]} reported edges"
+                )
+        return edges, queue_sizes
 
     def _superstep_barrier(self) -> None:
         import queue
@@ -564,27 +704,22 @@ def process_max_chordal(
 ) -> tuple[np.ndarray, list[int]]:
     """Extract the maximal chordal edge set with a process team.
 
-    Returns ``(edges, queue_sizes)``, bit-identical to the serial
-    synchronous superstep engine for every ``num_workers``.  Spawns (and
-    tears down) a one-shot :class:`ProcessPool`; batch callers should hold
-    a pool and call :meth:`ProcessPool.extract` per graph instead — see
-    :func:`repro.core.extract.extract_many`.
+    Returns ``(edges, queue_sizes)``.  With ``schedule="synchronous"``
+    (default) the edge set is bit-identical to the serial synchronous
+    superstep engine for every ``num_workers``; with
+    ``schedule="asynchronous"`` it is any valid chordal edge set produced
+    by the live-state sweep (may vary run to run — see the module
+    docstring).  Spawns (and tears down) a one-shot :class:`ProcessPool`;
+    batch callers should hold a pool and call :meth:`ProcessPool.extract`
+    per graph instead — see :func:`repro.core.extract.extract_many`.
 
     ``variant`` is validated for API symmetry; Opt/Unopt visit identical
     parents (see :mod:`repro.core.state`) and the bulk kernels do no cost
-    accounting, so both run the sorted-adjacency path.  Only the
-    ``"synchronous"`` schedule is supported: the asynchronous sweep's live
-    state cannot be shared across address spaces without serialising it.
+    accounting, so both run the sorted-adjacency path.
     """
     if variant not in ("optimized", "unoptimized"):
         raise ValueError(
             f"unknown variant {variant!r}; expected 'optimized' or 'unoptimized'"
         )
-    if schedule != "synchronous":
-        raise ValueError(
-            "engine='process' supports only schedule='synchronous' "
-            f"(got {schedule!r}); use the superstep or threaded engine for "
-            "asynchronous runs"
-        )
     with ProcessPool(graph, num_workers=num_workers) as pool:
-        return pool.extract(max_iterations=max_iterations)
+        return pool.extract(schedule=schedule, max_iterations=max_iterations)

@@ -20,10 +20,13 @@ segment.  A spec whose first entry is a fixed-size control array keeps
 that array at offset 0 across every remap, giving the two sides a stable
 channel to agree on the current layout.
 
-Views are 8-byte aligned so every ``int64`` slot is a single aligned
-machine word; the unique-writer discipline of the engine (each vertex's
-state has exactly one writing worker per superstep) then guarantees
-tear-free access without locks.
+Views are :data:`ALIGN`-byte aligned so every ``int64`` slot is a single
+aligned machine word; the unique-writer discipline of the engine (each
+vertex's state has exactly one writing worker per superstep) then
+guarantees tear-free access without locks.  The asynchronous schedule
+leans on the same guarantee for its shared edge-state claim words and
+epoch counters — :mod:`repro.parallel.atomics` validates the alignment of
+every word array it touches against :data:`ALIGN`.
 """
 
 from __future__ import annotations
@@ -32,9 +35,14 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["SharedArrayBlock", "layout_size"]
+__all__ = ["SharedArrayBlock", "layout_size", "ALIGN"]
 
-_ALIGN = 8
+#: Byte alignment of every array carved out of a segment.  Public because
+#: the word-atomicity contract of :mod:`repro.parallel.atomics` (aligned
+#: single-word loads/stores are tear-free) is anchored on it.
+ALIGN = 8
+
+_ALIGN = ALIGN
 
 
 def _layout(spec: dict[str, tuple[str, tuple[int, ...]]]) -> tuple[dict[str, tuple[int, str, tuple[int, ...]]], int]:

@@ -6,6 +6,9 @@ Markers (registered here so ``--strict-markers`` stays viable):
   explicit ``-m`` expression naming ``slow``) is given.
 * ``stress`` — adversarial concurrency stress; skipped unless
   ``--run-stress`` (or ``-m ... stress ...``) is given.
+* ``async_stress`` — wide sweeps and worker-churn scenarios for the
+  asynchronous process engine; skipped unless ``--run-async-stress``
+  (or ``-m ... async_stress ...``) is given.
 
 Tier-1 (``pytest -x -q``) therefore stays fast; the marked sweeps are the
 tier-2 deep end (see ``tests/README.md``).
@@ -32,6 +35,10 @@ from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
 _OPTIONAL_MARKERS = {
     "slow": ("--run-slow", "long-running test; skipped unless --run-slow"),
     "stress": ("--run-stress", "adversarial stress test; skipped unless --run-stress"),
+    "async_stress": (
+        "--run-async-stress",
+        "async process-engine stress test; skipped unless --run-async-stress",
+    ),
 }
 
 

@@ -118,6 +118,40 @@ class TestExtractMany:
             assert r.renumbered
             assert r.maximality_gap >= 0
 
+    def test_async_batch_through_one_pool(self, batch):
+        """extract_many with the asynchronous schedule: every result is a
+        valid (any-valid) extraction and the shared pool survives, and
+        rebinding across graph shapes doesn't confuse the claim words."""
+        from repro.chordality.verify import verify_extraction
+
+        results = extract_many(
+            batch, engine="process", schedule="asynchronous", num_workers=2
+        )
+        assert len(results) == len(batch)
+        for g, r in zip(batch, results):
+            assert r.schedule == "asynchronous"
+            report = verify_extraction(g, r, check_maximal=False)
+            assert report.ok, report
+
+    def test_mixed_schedules_on_caller_pool(self, batch):
+        """Interleaving async and sync extractions on one caller-owned
+        pool keeps the sync results bit-identical to the serial oracle."""
+        with ProcessPool(num_workers=2) as pool:
+            for g in batch:
+                extract_maximal_chordal_subgraph(
+                    g, engine="process", schedule="asynchronous", pool=pool
+                )
+                sync = extract_maximal_chordal_subgraph(
+                    g, engine="process", schedule="synchronous", pool=pool
+                )
+                ref_edges, _ = sync_reference(g)
+                # ChordalResult canonicalises rows; compare canonically.
+                lo = np.minimum(ref_edges[:, 0], ref_edges[:, 1])
+                hi = np.maximum(ref_edges[:, 0], ref_edges[:, 1])
+                order = np.lexsort((hi, lo))
+                canon = np.column_stack((lo[order], hi[order]))
+                assert np.array_equal(sync.edges, canon)
+
     def test_caller_owned_pool_stays_open(self, batch):
         with ProcessPool(num_workers=2) as pool:
             extract_many(batch[:2], engine="process", pool=pool)
@@ -131,6 +165,10 @@ class TestExtractMany:
                 extract_maximal_chordal_subgraph(
                     batch[0], engine="superstep", pool=pool
                 )
+            # extract_many mirrors the single-call validation instead of
+            # silently ignoring the pool.
+            with pytest.raises(ValueError, match="pool"):
+                extract_many(batch, engine="superstep", pool=pool)
 
     @pytest.mark.slow
     def test_killed_worker_detected_within_bounded_time(self):

@@ -131,12 +131,59 @@ class TestExtract:
         assert main(["extract", str(src), "--output-format", "npz"]) == 2
         assert "stdout" in capsys.readouterr().err
 
-    def test_invalid_knob_combination_exits_2(self, tmp_path, capsys):
+    def test_process_async_round_trip(self, tmp_path, capsys):
+        """Acceptance: repro extract --engine process --schedule
+        asynchronous round-trips through a file and --verify certifies
+        the (nondeterministic) output as a maximal chordal subgraph."""
+        from repro.chordality.verify import verify_extraction
+
+        g = rmat_er(7, seed=11)
+        src = tmp_path / "g.mtx"
+        write_mtx(g, src)
+        out = tmp_path / "chordal.txt"
+        assert main(["extract", str(src), "--engine", "process",
+                     "--schedule", "asynchronous", "--num-workers", "4",
+                     "--maximalize", "--verify", "-o", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "verified=chordal,maximal" in err
+        report = verify_extraction(g, load_graph(out).edge_array())
+        assert report.ok, report
+
+    def test_process_async_batch_shares_pool(self, tmp_path):
+        from repro.chordality.verify import verify_extraction
+
+        inputs = []
+        for i in range(3):
+            path = tmp_path / f"g{i}.txt"
+            save_graph(rmat_er(6, seed=i), path)
+            inputs.append(str(path))
+        out_dir = tmp_path / "out"
+        assert main(["extract", *inputs, "--out-dir", str(out_dir),
+                     "--engine", "process", "--schedule", "asynchronous",
+                     "--num-workers", "2", "--quiet"]) == 0
+        for i in range(3):
+            sub = load_graph(out_dir / f"g{i}.chordal.txt")
+            report = verify_extraction(
+                rmat_er(6, seed=i), sub.edge_array(), check_maximal=False
+            )
+            assert report.ok, (i, str(report))
+
+    def test_verify_flag_certifies_sync_output(self, tmp_path, capsys):
         src = tmp_path / "g.txt"
         save_graph(rmat_er(6, seed=1), src)
-        assert main(["extract", str(src), "--engine", "process",
-                     "--schedule", "asynchronous"]) == 2
-        assert "error" in capsys.readouterr().err
+        assert main(["extract", str(src), "--verify",
+                     "-o", str(tmp_path / "o.txt")]) == 0
+        assert "verified=chordal" in capsys.readouterr().err
+
+    def test_unknown_schedule_exits_nonzero_one_line(self, capsys):
+        """An unknown --schedule must exit non-zero with a one-line
+        parser error, never a traceback."""
+        with pytest.raises(SystemExit) as exc:
+            main(["extract", "g.mtx", "--schedule", "bogus"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
 
     def test_out_dir_name_collision_rejected(self, tmp_path, capsys):
         a, b = tmp_path / "g.mtx", tmp_path / "g.edges"

@@ -5,8 +5,9 @@ engines (``superstep`` loop + kernels, ``threaded``, ``process``,
 ``reference``) × both variants must produce the *identical canonical edge
 set* on every input.  The asynchronous schedule promises less — any run
 yields a chordal subgraph whose maximality gap the completion pass can
-close — and that weaker contract is asserted for every engine that offers
-the schedule.
+close — and that weaker contract is asserted for every engine (all four
+offer the schedule since the process engine gained its live sweep); the
+full any-valid certification lives in ``tests/test_properties_async.py``.
 
 A small seed sweep runs in tier-1; the wide sweep is marked ``slow``
 (``--run-slow``).  See ``tests/README.md``.
@@ -39,7 +40,11 @@ GENERATORS = {
 TIER1_SEEDS = (0, 1, 2)
 WIDE_SEEDS = tuple(range(3, 15))
 
-ASYNC_ENGINES = ("superstep", "threaded", "reference")
+ASYNC_ENGINES = ("superstep", "threaded", "reference", "process")
+
+#: Worker counts the synchronous determinism pin sweeps (1 = degenerate
+#: team, 3 = uneven slices, 6 = more workers than some actives).
+SYNC_WORKER_COUNTS = (1, 3, 6)
 
 
 def _assert_sync_engines_identical(maker, seed: int) -> None:
@@ -72,6 +77,7 @@ def _assert_async_run_valid(maker, seed: int, engine: str, variant: str) -> None
         variant=variant,
         schedule="asynchronous",
         num_threads=3,
+        num_workers=3,
         maximalize=True,
     )
     # Chordal, certified maximal after the completion pass, and the gap the
@@ -146,15 +152,66 @@ class TestKernelLoopAgreement:
             )
 
 
-class TestProcessEngineContract:
-    def test_async_schedule_rejected(self):
-        g = gnp_random_graph(10, 0.3, seed=0)
-        with pytest.raises(ValueError, match="synchronous"):
-            process_max_chordal(g, schedule="asynchronous")
-        with pytest.raises(ValueError, match="synchronous"):
-            extract_maximal_chordal_subgraph(
-                g, engine="process", schedule="asynchronous"
+class TestSyncDeterminismPins:
+    """The synchronous schedule is the determinism contract: bit-identical
+    edge sets AND queue profiles across every engine and every worker
+    count, pinned so the asynchronous process path can never leak
+    nondeterminism into the sync kernels."""
+
+    @pytest.mark.parametrize("gen", ("gnp", "rmat_b"))
+    def test_process_sync_identical_for_every_worker_count(self, gen):
+        for seed in TIER1_SEEDS[:2]:
+            graph = GENERATORS[gen](seed)
+            serial, qs, _ = superstep_max_chordal(graph, schedule="synchronous")
+            for workers in SYNC_WORKER_COUNTS:
+                edges, pqs = process_max_chordal(graph, num_workers=workers)
+                assert np.array_equal(edges, serial), (gen, seed, workers)
+                assert pqs == qs, (gen, seed, workers)
+
+    def test_sync_unchanged_after_async_runs_on_same_pool(self):
+        """An async sweep must leave no residue (edge-state words, epoch
+        counters, arena contents) that shifts a later sync run."""
+        graph = GENERATORS["rmat_er"](4)
+        serial, qs, _ = superstep_max_chordal(graph, schedule="synchronous")
+        with ProcessPool(graph, num_workers=3) as pool:
+            before = pool.extract(schedule="synchronous")
+            for _ in range(3):
+                pool.extract(schedule="asynchronous")
+            after = pool.extract(schedule="synchronous")
+        for edges, pqs in (before, after):
+            assert np.array_equal(edges, serial)
+            assert pqs == qs
+
+    def test_threaded_sync_identical_for_every_thread_count(self):
+        graph = GENERATORS["gnp"](1)
+        baseline = extract_maximal_chordal_subgraph(
+            graph, engine="superstep", schedule="synchronous"
+        ).edges
+        for threads in (1, 2, 5):
+            result = extract_maximal_chordal_subgraph(
+                graph, engine="threaded", schedule="synchronous",
+                num_threads=threads,
             )
+            assert np.array_equal(result.edges, baseline), threads
+
+
+class TestProcessEngineContract:
+    def test_async_schedule_supported(self):
+        """The former ValueError contract is gone: the process engine now
+        runs the paper's asynchronous schedule (validity is certified by
+        tests/test_properties_async.py; here just the plumbing)."""
+        g = gnp_random_graph(10, 0.3, seed=0)
+        edges, qs = process_max_chordal(g, schedule="asynchronous", num_workers=2)
+        assert edges.shape[1] == 2
+        assert len(qs) >= 1
+
+    def test_unknown_schedule_rejected(self):
+        g = gnp_random_graph(10, 0.3, seed=0)
+        with pytest.raises(ValueError, match="schedule"):
+            process_max_chordal(g, schedule="bogus")
+        with ProcessPool(g, num_workers=1) as pool:
+            with pytest.raises(ValueError, match="schedule"):
+                pool.extract(schedule="bogus")
 
     def test_bad_worker_count(self):
         with pytest.raises(ValueError, match="num_workers"):

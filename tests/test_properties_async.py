@@ -1,0 +1,204 @@
+"""Property-based engine × schedule × num_workers verification sweep.
+
+The asynchronous schedules (threaded and, new, the true-parallel process
+engine) are *any-valid*: a run returns some chordal subgraph, not a
+bit-reproducible one, so these tests certify every configuration through
+:func:`repro.chordality.verify_extraction` instead of bit-identity:
+
+1. the **raw** output of every engine × schedule × worker-count combo is
+   a chordal subgraph of the input (Theorem 1, no completion pass);
+2. after the completion pass the output is certified **maximal**
+   (Theorem 2 as the paper intended it).
+
+Graphs are drawn from seeded generators across every family the paper
+touches (R-MAT ER/G/B, Erdős–Rényi, bio co-expression stand-ins, chordal
+generators) plus the degenerate shapes that historically break engines
+(empty, isolated vertices, a single edge, cliques, stars, cycles).
+
+Every assertion message carries the ``(family, seed, engine, schedule,
+workers)`` tuple needed to replay the exact failing case — see
+``tests/README.md`` ("Re-running a failing property seed").
+
+One :class:`~repro.core.procpool.ProcessPool` per worker count is shared
+module-wide, so the 200-graph acceptance sweep pays worker spawn once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chordality.verify import verify_extraction
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.core.maximalize import maximalize_chordal_edges
+from repro.core.procpool import ProcessPool
+from repro.graph.builder import build_graph
+from repro.graph.generators.bio import GSE5140_UNT, bio_network
+from repro.graph.generators.chordal import ktree, partial_ktree, random_chordal
+from repro.graph.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators.random import gnp_random_graph
+from repro.graph.generators.rmat import rmat_b, rmat_er, rmat_g
+
+#: family name -> seeded builder.  Sizes are kept small enough that the
+#: maximality certificate (one BFS per rejected edge) stays cheap.
+FAMILIES = {
+    "rmat_er": lambda s: rmat_er(5, seed=s),
+    "rmat_g": lambda s: rmat_g(5, seed=s),
+    "rmat_b": lambda s: rmat_b(5, seed=s),
+    "gnp": lambda s: gnp_random_graph(16 + s % 17, 0.08 + 0.04 * (s % 5), seed=s),
+    "bio": lambda s: bio_network(GSE5140_UNT.scaled(1 / 1024), seed=s),
+    "chordal": lambda s: random_chordal(14 + s % 12, 0.25, seed=s),
+    "ktree": lambda s: ktree(10 + s % 8, 1 + s % 3, seed=s),
+    "partial_ktree": lambda s: partial_ktree(18, 3, 0.6, seed=s),
+    # Degenerate shapes: every engine must survive them at every worker
+    # count (empty active sets, more workers than vertices, ...).
+    "empty": lambda s: build_graph(0, []),
+    "isolated": lambda s: build_graph(1 + s % 5, []),
+    "single_edge": lambda s: build_graph(2 + s % 3, [(0, 1)]),
+    "complete": lambda s: complete_graph(3 + s % 5),
+    "star": lambda s: star_graph(4 + s % 4),
+    "path": lambda s: path_graph(5 + s % 5),
+    "cycle": lambda s: cycle_graph(4 + s % 4),
+}
+
+#: Every engine × schedule × worker-count combination under test.
+CONFIGS = [
+    ("reference", "synchronous", 0),
+    ("reference", "asynchronous", 0),
+    ("superstep", "synchronous", 0),
+    ("superstep", "asynchronous", 0),
+    ("threaded", "synchronous", 3),
+    ("threaded", "asynchronous", 3),
+    ("process", "synchronous", 1),
+    ("process", "synchronous", 3),
+    ("process", "asynchronous", 1),
+    ("process", "asynchronous", 3),
+    ("process", "asynchronous", 4),
+]
+
+_CONFIG_IDS = [f"{e}-{s[:5]}-w{w}" for e, s, w in CONFIGS]
+
+#: Acceptance-criterion sweep size for the async process engine.
+ACCEPTANCE_GRAPHS = 200
+_CHUNK = 20
+
+
+@pytest.fixture(scope="module")
+def pools():
+    """Shared per-worker-count process pools (spawned lazily, closed once)."""
+    cache: dict[int, ProcessPool] = {}
+
+    def get(num_workers: int) -> ProcessPool:
+        if num_workers not in cache:
+            cache[num_workers] = ProcessPool(num_workers=num_workers)
+        return cache[num_workers]
+
+    yield get
+    for pool in cache.values():
+        pool.close()
+
+
+def _run_and_verify(graph, *, family, seed, engine, schedule, workers, pool=None):
+    """Extract, certify raw chordality, then certify completed maximality."""
+    tag = (
+        f"family={family} seed={seed} engine={engine} "
+        f"schedule={schedule} workers={workers}"
+    )
+    result = extract_maximal_chordal_subgraph(
+        graph,
+        engine=engine,
+        schedule=schedule,
+        num_threads=workers or 3,
+        num_workers=workers or 4,
+        pool=pool,
+    )
+    raw = verify_extraction(graph, result, check_maximal=False)
+    assert raw.ok, f"{tag}: raw output invalid: {raw}"
+    # Iteration budget (the paper's O(max degree) bound, +2 slack).
+    assert result.num_iterations <= graph.max_degree() + 2, tag
+    completed, _gap = maximalize_chordal_edges(graph, result.edges)
+    report = verify_extraction(graph, completed, check_maximal=True)
+    assert report.ok, f"{tag}: completed output not maximal-chordal: {report}"
+    return result
+
+
+@pytest.mark.parametrize("engine,schedule,workers", CONFIGS, ids=_CONFIG_IDS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_every_config_yields_valid_extraction(family, engine, schedule, workers, pools):
+    for seed in (0, 1):
+        _run_and_verify(
+            FAMILIES[family](seed),
+            family=family,
+            seed=seed,
+            engine=engine,
+            schedule=schedule,
+            workers=workers,
+            pool=pools(workers) if engine == "process" else None,
+        )
+
+
+@pytest.mark.parametrize("chunk", range(ACCEPTANCE_GRAPHS // _CHUNK))
+def test_acceptance_async_process_200_graphs(chunk, pools):
+    """Acceptance criterion: ``engine="process", schedule="asynchronous",
+    num_workers=4`` passes ``verify_extraction()`` (chordal + maximal
+    after the completion pass) on 200 randomized property-test graphs."""
+    names = sorted(FAMILIES)
+    pool = pools(4)
+    for i in range(_CHUNK):
+        idx = chunk * _CHUNK + i
+        family = names[idx % len(names)]
+        seed = 1000 + idx
+        _run_and_verify(
+            FAMILIES[family](seed),
+            family=family,
+            seed=seed,
+            engine="process",
+            schedule="asynchronous",
+            workers=4,
+            pool=pool,
+        )
+
+
+def test_async_process_is_not_required_to_match_sync(pools):
+    """Document the weaker async contract: live-sweep output *may* differ
+    from the synchronous edge set (it does on this input), yet both are
+    valid extractions of the same graph."""
+    g = rmat_b(7, seed=2)
+    pool = pools(4)
+    sync = extract_maximal_chordal_subgraph(
+        g, engine="process", schedule="synchronous", pool=pool
+    )
+    seen_diff = False
+    for _ in range(5):
+        r = extract_maximal_chordal_subgraph(
+            g, engine="process", schedule="asynchronous", pool=pool
+        )
+        assert verify_extraction(g, r, check_maximal=False).ok
+        if not np.array_equal(r.edges, sync.edges):
+            seen_diff = True
+    # Not asserted: equality would also be a legal outcome.  Record the
+    # observation so a future all-equal regression is at least visible.
+    if not seen_diff:  # pragma: no cover - legal but unexpected
+        pytest.skip("async runs happened to match sync on every repeat")
+
+
+@pytest.mark.async_stress
+@pytest.mark.parametrize("seed", tuple(range(12)))
+def test_async_process_wide_seed_sweep(seed, pools):
+    """Deeper randomized sweep across worker counts (--run-async-stress)."""
+    for family in sorted(FAMILIES):
+        for workers in (1, 2, 3, 5):
+            _run_and_verify(
+                FAMILIES[family](seed),
+                family=family,
+                seed=seed,
+                engine="process",
+                schedule="asynchronous",
+                workers=workers,
+                pool=pools(workers),
+            )
