@@ -2,10 +2,12 @@
 """Quickstart: extract and verify a maximal chordal subgraph.
 
 Generates one of the paper's R-MAT test graphs, runs Algorithm 1 in all
-four engines, verifies the output with the chordality oracle, prints
-the statistics the paper reports (chordal-edge fraction, iteration
-profile), and finishes with the file-based CLI workflow (``repro
-generate`` / ``repro extract`` on a MatrixMarket file).
+registered engines, verifies the output with the chordality oracle,
+prints the statistics the paper reports (chordal-edge fraction,
+iteration profile), demonstrates the session API (``ExtractionConfig``
++ ``Extractor`` streaming a batch through one worker pool), and
+finishes with the file-based CLI workflow (``repro generate`` / ``repro
+extract`` on a MatrixMarket file).
 
 Run:
     python examples/quickstart.py [--scale 10] [--verify]
@@ -17,7 +19,13 @@ import argparse
 
 import numpy as np
 
-from repro import extract_maximal_chordal_subgraph, is_chordal, rmat_b
+from repro import (
+    ExtractionConfig,
+    Extractor,
+    extract_maximal_chordal_subgraph,
+    is_chordal,
+    rmat_b,
+)
 from repro.chordality import assert_valid_extraction
 from repro.util.timing import Timer, format_seconds
 
@@ -50,17 +58,35 @@ def main() -> None:
     assert is_chordal(result.subgraph), "Theorem 1 violated?!"
 
     # --- all engines agree on validity ------------------------------------
-    # The asynchronous schedule (default) is any-valid: the process
-    # engine's live-parallel sweep may return a different — but equally
-    # valid — edge set than the serial engines.
+    # The asynchronous schedule is any-valid: the process engine's
+    # live-parallel sweep may return a different — but equally valid —
+    # edge set than the serial engines.  Engines come from the registry
+    # (repro.core.engines), so a third-party register_engine() call
+    # would show up in this sweep automatically.
+    from repro import engine_names
+
     print("\nCross-engine check (asynchronous schedule):")
-    for engine in ("superstep", "threaded", "process", "reference"):
+    for engine in engine_names():
         r = extract_maximal_chordal_subgraph(
             graph, engine=engine, num_threads=4, num_workers=4
         )
         marker = "ok" if is_chordal(r.subgraph) else "FAIL"
         print(f"  {engine:10s}: {r.num_chordal_edges} edges, "
               f"{r.num_iterations} iterations [{marker}]")
+
+    # --- the session API: many graphs, one config, one pool spawn ---------
+    # ExtractionConfig validates every knob once; Extractor owns the
+    # process pool for its whole lifetime, and stream() yields results
+    # lazily — a million-graph batch never materialises a list.
+    config = ExtractionConfig(engine="process", num_workers=4)
+    print(f"\nSession API ({config.engine} engine, "
+          f"schedule resolves to {config.resolved().schedule!r}):")
+    with Extractor(config) as extractor, Timer() as t:
+        for i, r in enumerate(extractor.stream(
+                rmat_b(args.scale - 2, seed=s) for s in range(4))):
+            print(f"  graph {i}: {r.num_chordal_edges} chordal edges "
+                  f"({100 * r.chordal_fraction:.1f}%)")
+    print(f"  4 extractions, one worker-team spawn: {format_seconds(t.elapsed)}")
 
     # --- deterministic equality between serial engines --------------------
     ref = extract_maximal_chordal_subgraph(graph, engine="reference")

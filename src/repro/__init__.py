@@ -19,12 +19,27 @@ Quickstart
 >>> 0 < result.num_chordal_edges <= g.num_edges
 True
 
+Many graphs under one regime are a session — one validated
+:class:`ExtractionConfig`, one :class:`Extractor`, one worker-team spawn:
+
+>>> with Extractor(ExtractionConfig()) as ex:
+...     results = ex.extract_many([g, g])
+>>> len(results)
+2
+
 From the shell, the same workflow is ``repro generate`` / ``repro
 extract`` (see :mod:`repro.cli`).  ``README.md`` has the full tour.
 """
 
 from repro.core import (
     ChordalResult,
+    ExtractionConfig,
+    Extractor,
+    EngineSpec,
+    register_engine,
+    get_engine,
+    engine_names,
+    schedule_names,
     extract_maximal_chordal_subgraph,
     extract_many,
     reference_max_chordal,
@@ -34,6 +49,7 @@ from repro.core import (
     ProcessPool,
     stitch_components,
 )
+from repro.errors import ConfigError, ReproError
 from repro.chordality import (
     is_chordal,
     is_maximal_chordal_subgraph,
@@ -63,10 +79,19 @@ from repro.graph.generators import (
     synthetic_expression,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ChordalResult",
+    "ExtractionConfig",
+    "Extractor",
+    "EngineSpec",
+    "register_engine",
+    "get_engine",
+    "engine_names",
+    "schedule_names",
+    "ConfigError",
+    "ReproError",
     "extract_maximal_chordal_subgraph",
     "extract_many",
     "reference_max_chordal",

@@ -8,11 +8,12 @@ baselines, and regenerate the paper's tables and figures.
 Subcommands
 -----------
 ``extract``
-    File in, maximal chordal edge list out, with every engine/variant/
-    schedule knob of :func:`repro.core.extract.extract_maximal_chordal_
-    subgraph`.  Multiple inputs share one persistent process pool
-    (``--engine process``), i.e. the batch pipeline of
-    :func:`repro.core.extract.extract_many`.  ``--verify`` certifies
+    File in, maximal chordal edge list out, with every knob of
+    :class:`repro.core.config.ExtractionConfig`; ``--engine`` /
+    ``--schedule`` choices come from the engine registry
+    (:mod:`repro.core.engines`).  The whole invocation runs through one
+    :class:`repro.core.session.Extractor`, so multiple inputs share one
+    persistent process pool (``--engine process``).  ``--verify`` certifies
     every output through :func:`repro.chordality.verify_extraction`
     (chordality always; maximality when ``--maximalize`` guarantees it) —
     the supported way to validate the nondeterministic asynchronous
@@ -32,6 +33,7 @@ Examples
 --------
 ::
 
+    repro --version
     repro generate rmat-b --scale 12 --seed 1 -o graph.mtx
     repro extract graph.mtx -o chordal.txt --engine process --num-workers 4
     repro generate rmat-er --scale 8 | repro extract - --quiet
@@ -51,13 +53,9 @@ import os
 import sys
 from pathlib import Path
 
-from repro.core.extract import (
-    ENGINES,
-    SCHEDULES,
-    VARIANTS,
-    extract_maximal_chordal_subgraph,
-)
-from repro.core.procpool import ProcessPool
+from repro.core.config import VARIANTS, ExtractionConfig
+from repro.core.engines import registered_engines, schedule_names
+from repro.core.session import Extractor
 from repro.errors import ReproError
 from repro.graph.generators import (
     barabasi_albert,
@@ -104,12 +102,21 @@ _FAMILIES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Maximal chordal subgraph extraction "
         "(Halappanavar et al., ICPP 2012) — batch pipeline and tools",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+    # Engine/schedule choices and help are derived from the engine
+    # registry, so a third-party register_engine() call before parsing
+    # shows up here unchanged.
+    engines = registered_engines()
 
     ex = sub.add_parser(
         "extract",
@@ -142,14 +149,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output format (default: by output extension, else edgelist)",
     )
-    ex.add_argument("--engine", choices=ENGINES, default="superstep")
+    ex.add_argument(
+        "--engine",
+        choices=tuple(e.name for e in engines),
+        default="superstep",
+        help="; ".join(f"{e.name}: {e.description}" for e in engines),
+    )
     ex.add_argument("--variant", choices=VARIANTS, default="optimized")
     ex.add_argument(
         "--schedule",
-        choices=SCHEDULES,
+        choices=schedule_names(),
         default=None,
-        help="default: synchronous for --engine process (deterministic "
-        "output files), asynchronous otherwise",
+        help="default: the engine's natural schedule ("
+        + ", ".join(f"{e.name}: {e.default_schedule}" for e in engines)
+        + ")",
     )
     ex.add_argument("--num-workers", type=int, default=4, help="process-engine workers")
     ex.add_argument("--num-threads", type=int, default=4, help="threaded-engine threads")
@@ -301,8 +314,18 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    schedule = args.schedule or (
-        "synchronous" if args.engine == "process" else "asynchronous"
+    # One validated config for the whole invocation; schedule=None
+    # resolves to the engine's registered default (synchronous for
+    # process — deterministic output files — asynchronous otherwise).
+    config = ExtractionConfig(
+        engine=args.engine,
+        variant=args.variant,
+        schedule=args.schedule,
+        num_threads=args.num_threads,
+        num_workers=args.num_workers,
+        renumber=args.renumber,
+        stitch=args.stitch,
+        maximalize=args.maximalize,
     )
     out_dir = Path(args.out_dir) if args.out_dir else None
     if out_dir:
@@ -322,27 +345,16 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 )
                 return 2
             seen[target] = source
-    # One pool for the whole batch: spawned on first use, rebound per graph.
-    pool = ProcessPool(num_workers=args.num_workers) if args.engine == "process" else None
-    try:
+    # One session for the whole batch: the pool is spawned on first use
+    # and rebound per graph (the extract_many amortisation).
+    with Extractor(config) as extractor:
         for source in args.inputs:
             if source == "-":
                 graph, name = _read_stdin(args.input_format), "<stdin>"
             else:
                 graph, name = load_graph(source, format=args.input_format), source
             with Timer() as timer:
-                result = extract_maximal_chordal_subgraph(
-                    graph,
-                    engine=args.engine,
-                    variant=args.variant,
-                    schedule=schedule,
-                    num_threads=args.num_threads,
-                    num_workers=args.num_workers,
-                    renumber=args.renumber,
-                    stitch=args.stitch,
-                    maximalize=args.maximalize,
-                    pool=pool,
-                )
+                result = extractor.extract(graph)
             verified = ""
             if args.verify:
                 from repro.chordality.verify import verify_extraction
@@ -376,9 +388,6 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     f"engine={args.engine}{verified} [{timer.elapsed:.3f}s]",
                     file=sys.stderr,
                 )
-    finally:
-        if pool is not None:
-            pool.close()
     return 0
 
 

@@ -13,19 +13,38 @@ semantics (see DESIGN.md §5):
   concurrency structure).
 * :mod:`repro.core.procpool` — worker-*process* engine over shared memory,
   executing the bulk kernels of :mod:`repro.core.kernels` with real
-  core-level parallelism (synchronous schedule only).
-* :func:`repro.core.extract.extract_maximal_chordal_subgraph` — the public
-  entry point dispatching between them.
+  core-level parallelism (both schedules).
+
+The public face is the session API:
+
+* :class:`repro.core.config.ExtractionConfig` — every knob, validated once;
+* :mod:`repro.core.engines` — the engine registry (capability flags,
+  :func:`~repro.core.engines.register_engine` for third-party engines);
+* :class:`repro.core.session.Extractor` — session object owning the pool
+  lifecycle, with ``.extract()`` / ``.extract_many()`` / ``.stream()``;
+* :func:`repro.core.extract.extract_maximal_chordal_subgraph` /
+  :func:`~repro.core.extract.extract_many` — the legacy one-call shims.
 """
 
+from repro.core.config import ExtractionConfig, VARIANTS
+from repro.core.engines import (
+    Engine,
+    EngineSpec,
+    engine_names,
+    get_engine,
+    register_engine,
+    registered_engines,
+    schedule_names,
+    unregister_engine,
+)
 from repro.core.extract import (
     ChordalResult,
     extract_maximal_chordal_subgraph,
     extract_many,
-    VARIANTS,
     ENGINES,
     SCHEDULES,
 )
+from repro.core.session import Extractor
 from repro.core.maximalize import maximalize_chordal_edges
 from repro.core.procpool import ProcessPool, process_max_chordal
 from repro.core.reference import reference_max_chordal
@@ -36,6 +55,16 @@ from repro.core.instrument import WorkTrace, IterationTrace, CostModelParams
 
 __all__ = [
     "ChordalResult",
+    "ExtractionConfig",
+    "Extractor",
+    "Engine",
+    "EngineSpec",
+    "register_engine",
+    "unregister_engine",
+    "registered_engines",
+    "get_engine",
+    "engine_names",
+    "schedule_names",
     "extract_maximal_chordal_subgraph",
     "extract_many",
     "maximalize_chordal_edges",

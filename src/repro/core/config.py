@@ -1,0 +1,206 @@
+"""`ExtractionConfig` — every extraction knob, captured and validated once.
+
+The pre-session API spread fifteen keyword arguments (and their
+validation, engine dispatch and schedule defaults) across
+``extract_maximal_chordal_subgraph``, ``extract_many`` and the CLI, each
+with its own hand-rolled checks — the batch path even flipped the default
+schedule per engine while the single-call path did not.  This module is
+the single source of truth instead: a frozen dataclass whose
+``__post_init__`` validates every field against the engine registry
+(:mod:`repro.core.engines`) and whose :meth:`ExtractionConfig.resolved`
+fills the engine-dependent defaults *explicitly* — one rule for single
+calls, batches, streams and the CLI alike.
+
+All validation failures raise :class:`~repro.errors.ConfigError`, which
+subclasses both :class:`~repro.errors.ReproError` (catch one library base
+class) and ``ValueError`` (what the legacy shims raised).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.engines import Engine, get_engine, registered_engines, schedule_names
+from repro.core.instrument import CostModelParams
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.procpool import ProcessPool
+
+__all__ = ["ExtractionConfig", "VARIANTS", "DEFAULT_NUM_THREADS", "DEFAULT_NUM_WORKERS"]
+
+#: Parent-advance variants (the paper's Opt / Unopt pair).
+VARIANTS = ("optimized", "unoptimized")
+
+#: Thread-team size the threaded engine uses when none is given.
+DEFAULT_NUM_THREADS = 4
+
+#: Worker-process count the process engine uses when none is given.
+DEFAULT_NUM_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Immutable, validated description of one extraction regime.
+
+    Construct it once, hand it to :class:`~repro.core.session.Extractor`
+    (or many of them), and every graph extracted under it runs the same
+    regime.  Construction validates every field against the engine
+    registry and raises :class:`~repro.errors.ConfigError` on the first
+    problem; a constructed config is therefore always runnable.
+
+    Attributes
+    ----------
+    engine:
+        Registered engine name (see
+        :func:`repro.core.engines.engine_names`; built-ins:
+        ``superstep``, ``threaded``, ``process``, ``reference``).
+    variant:
+        ``"optimized"`` (sorted adjacency) or ``"unoptimized"``.
+    schedule:
+        ``"asynchronous"``, ``"synchronous"``, or ``None`` (default) for
+        the engine's declared ``default_schedule`` — ``synchronous`` for
+        the process engine (deterministic outputs), ``asynchronous``
+        elsewhere.  The engine must support the requested schedule.
+    num_threads:
+        Thread-team size (threaded engine).
+    num_workers:
+        Worker-process count (process engine); ``None`` resolves to the
+        bound pool's size, else :data:`DEFAULT_NUM_WORKERS`.  Giving
+        both an explicit count and a conflicting pool is a
+        :class:`~repro.errors.ConfigError` (it used to be silently
+        ignored).
+    renumber:
+        ``"bfs"`` renumbers vertices in BFS order before extraction and
+        maps the edge set back — on connected inputs this guarantees a
+        connected, hence provably maximal, output (Theorem 2 +
+        corollary).  ``None`` runs on the ids as given.
+    stitch:
+        Join disconnected output components with single bridges.
+    maximalize:
+        Run the serial completion pass that re-offers every rejected
+        edge (certified maximal output; the added-edge count is reported
+        as ``result.maximality_gap``).
+    collect_trace:
+        Capture the work trace for the machine models (requires an
+        engine with the ``supports_trace`` capability).
+    cost_params / max_iterations:
+        Forwarded to the engine.
+    """
+
+    engine: str = "superstep"
+    variant: str = "optimized"
+    schedule: str | None = None
+    num_threads: int = DEFAULT_NUM_THREADS
+    num_workers: int | None = None
+    renumber: str | None = None
+    stitch: bool = False
+    maximalize: bool = False
+    collect_trace: bool = False
+    cost_params: CostModelParams | None = None
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        spec = get_engine(self.engine)  # ConfigError on unknown engine
+        if self.variant not in VARIANTS:
+            raise ConfigError(
+                f"unknown variant {self.variant!r}; expected one of {VARIANTS}"
+            )
+        if self.schedule is not None:
+            known = schedule_names()
+            if self.schedule not in known:
+                raise ConfigError(
+                    f"unknown schedule {self.schedule!r}; expected one of {known}"
+                )
+            if self.schedule not in spec.schedules:
+                raise ConfigError(
+                    f"engine {self.engine!r} does not support schedule "
+                    f"{self.schedule!r}; it supports {spec.schedules}"
+                )
+        if self.renumber not in (None, "bfs"):
+            raise ConfigError(
+                f"renumber must be None or 'bfs', got {self.renumber!r}"
+            )
+        if self.collect_trace and not spec.supports_trace:
+            traced = tuple(
+                e.name for e in registered_engines() if e.supports_trace
+            )
+            raise ConfigError(
+                f"collect_trace requires an engine with the supports_trace "
+                f"capability ({traced}); engine {self.engine!r} has none"
+            )
+        if self.num_threads < 1:
+            raise ConfigError(f"num_threads must be >= 1, got {self.num_threads}")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ConfigError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ConfigError(
+                f"max_iterations must be None or >= 1, got {self.max_iterations}"
+            )
+
+    @property
+    def engine_spec(self) -> Engine:
+        """The registered engine this config runs on."""
+        return get_engine(self.engine)
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether this regime's edge sets are bit-reproducible.
+
+        ``False`` for an unresolved ``schedule=None`` only if the
+        engine's default schedule is nondeterministic.
+        """
+        spec = self.engine_spec
+        schedule = self.schedule or spec.default_schedule
+        return spec.is_deterministic(schedule)
+
+    def replace(self, **changes: Any) -> "ExtractionConfig":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+    def resolved(self, pool: "ProcessPool | None" = None) -> "ExtractionConfig":
+        """Fill every engine-dependent default explicitly.
+
+        * ``schedule=None`` becomes the engine's ``default_schedule`` —
+          the *one* rule shared by single-call, batch, stream and CLI
+          paths (the pre-session API resolved this differently in
+          ``extract_many`` than in the single-call function).
+        * ``num_workers=None`` becomes ``pool.num_workers`` when a pool
+          is supplied, else :data:`DEFAULT_NUM_WORKERS`.
+
+        Raises
+        ------
+        ConfigError
+            If ``pool`` is given but the engine lacks the
+            ``supports_pool`` capability, or an explicit ``num_workers``
+            conflicts with ``pool.num_workers`` (previously silently
+            ignored).
+        """
+        spec = self.engine_spec
+        changes: dict[str, Any] = {}
+        if self.schedule is None:
+            changes["schedule"] = spec.default_schedule
+        if pool is not None:
+            if not spec.supports_pool:
+                pooled = tuple(
+                    e.name for e in registered_engines() if e.supports_pool
+                )
+                raise ConfigError(
+                    f"pool= is only meaningful with a pool-capable engine "
+                    f"({pooled}); got engine {self.engine!r}"
+                )
+            if (
+                self.num_workers is not None
+                and self.num_workers != pool.num_workers
+            ):
+                raise ConfigError(
+                    f"num_workers={self.num_workers} conflicts with the "
+                    f"supplied pool's {pool.num_workers} workers; drop "
+                    "num_workers or pass a matching pool"
+                )
+            changes["num_workers"] = pool.num_workers
+        elif self.num_workers is None:
+            changes["num_workers"] = DEFAULT_NUM_WORKERS
+        return self.replace(**changes) if changes else self

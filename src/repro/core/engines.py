@@ -1,0 +1,402 @@
+"""Engine protocol and registry for the extraction engines.
+
+The paper's contribution is *one* algorithm run under many execution
+regimes, and this module is where those regimes become data: every engine
+registers an :class:`EngineSpec` describing its capabilities — supported
+schedules, which of them are deterministic, whether it can produce a
+:class:`~repro.core.instrument.WorkTrace`, whether it runs on a
+:class:`~repro.core.procpool.ProcessPool` — plus a ``run`` callable with a
+uniform signature.  Dispatch, validation, error messages and the CLI's
+``--engine`` / ``--schedule`` choices are all derived from the registry,
+so a third-party engine registered with :func:`register_engine` plugs into
+:class:`~repro.core.session.Extractor`, the legacy shims and ``repro
+extract`` without touching any of them.
+
+The legacy module-level tuples ``repro.core.extract.ENGINES`` /
+``SCHEDULES`` are live views over this registry (see
+:class:`RegistryView`).
+
+Built-in engines
+----------------
+``superstep``
+    Serial bulk-array engine (vectorized kernels); deterministic under
+    both schedules; the only engine that can collect a work trace.
+``threaded``
+    Real thread team with per-iteration barriers (GIL-bound);
+    asynchronous output may differ run to run.
+``process``
+    Worker-process team over shared memory — real core-level speedup;
+    runs on a reusable :class:`~repro.core.procpool.ProcessPool`
+    (``supports_pool``); synchronous output is bit-identical to
+    ``superstep`` for any worker count.
+``reference``
+    Literal pseudocode transcription; deterministic under both
+    schedules; the readable spec.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.instrument import WorkTrace
+from repro.core.procpool import ProcessPool
+from repro.core.reference import reference_max_chordal
+from repro.core.superstep import superstep_max_chordal
+from repro.core.threaded import threaded_max_chordal
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (type hints only)
+    from repro.core.config import ExtractionConfig
+
+__all__ = [
+    "Engine",
+    "EngineSpec",
+    "RegistryView",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "engine_names",
+    "schedule_names",
+    "registered_engines",
+]
+
+#: Canonical schedule ordering for derived views (matches the historical
+#: ``SCHEDULES`` tuple; registry-introduced schedules sort after these).
+_CANONICAL_SCHEDULES = ("asynchronous", "synchronous")
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What the dispatcher needs from an engine.
+
+    Any object with these attributes and a :meth:`run` method can be
+    handed to :func:`register_engine`; :class:`EngineSpec` is the
+    dataclass the built-in engines use.
+    """
+
+    name: str
+    description: str
+    schedules: tuple[str, ...]
+    default_schedule: str
+    deterministic_schedules: tuple[str, ...]
+    supports_trace: bool
+    supports_pool: bool
+
+    def run(
+        self,
+        graph: CSRGraph,
+        config: "ExtractionConfig",
+        pool: ProcessPool | None = None,
+    ) -> tuple[np.ndarray, list[int], WorkTrace | None]:
+        """Run one extraction; return ``(edges, queue_sizes, trace)``."""
+        ...  # pragma: no cover - protocol stub
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Capability record + run callable for one registered engine.
+
+    Attributes
+    ----------
+    name:
+        Registry key (the public ``engine=`` value).
+    run_fn:
+        ``(graph, config, pool) -> (edges, queue_sizes, trace | None)``
+        with the graph already BFS-renumbered when requested; the
+        session layer owns renumber/stitch/maximalize/canonicalisation.
+    description:
+        One line for ``--engine`` help and API docs.
+    schedules:
+        Schedules this engine accepts (requesting another one is a
+        :class:`~repro.errors.ConfigError` naming this tuple).
+    default_schedule:
+        What ``ExtractionConfig(schedule=None)`` resolves to — the
+        engine's natural schedule (``synchronous`` for ``process``,
+        whose deterministic outputs make batches reproducible;
+        ``asynchronous`` elsewhere, matching the paper).
+    deterministic_schedules:
+        Schedules under which the edge set is bit-reproducible across
+        runs and thread/worker counts.
+    supports_trace:
+        Whether ``collect_trace=True`` is accepted.
+    supports_pool:
+        Whether extraction runs on (and can reuse) a
+        :class:`~repro.core.procpool.ProcessPool`.
+    """
+
+    name: str
+    run_fn: Callable[..., tuple[np.ndarray, list[int], WorkTrace | None]] = field(
+        repr=False
+    )
+    description: str = ""
+    schedules: tuple[str, ...] = _CANONICAL_SCHEDULES
+    default_schedule: str = "asynchronous"
+    deterministic_schedules: tuple[str, ...] = ()
+    supports_trace: bool = False
+    supports_pool: bool = False
+
+    def __post_init__(self) -> None:
+        _check_engine_invariants(self)
+
+    def is_deterministic(self, schedule: str) -> bool:
+        """Whether ``schedule`` yields bit-reproducible edge sets."""
+        return schedule in self.deterministic_schedules
+
+    def run(
+        self,
+        graph: CSRGraph,
+        config: "ExtractionConfig",
+        pool: ProcessPool | None = None,
+    ) -> tuple[np.ndarray, list[int], WorkTrace | None]:
+        return self.run_fn(graph, config, pool)
+
+
+def _check_engine_invariants(engine: Engine) -> None:
+    """Reject inconsistent capability declarations with a ConfigError.
+
+    Shared by :meth:`EngineSpec.__post_init__` (fail-fast at
+    construction) and :func:`register_engine` (so plain
+    Protocol-conforming objects are held to the same contract at
+    registration time, not at some distant extract-time resolution).
+    """
+    name = getattr(engine, "name", None)
+    if not name or not isinstance(name, str):
+        raise ConfigError(f"engine name must be a non-empty string, got {name!r}")
+    missing = [
+        attr
+        for attr in (
+            "description",
+            "schedules",
+            "default_schedule",
+            "deterministic_schedules",
+            "supports_trace",
+            "supports_pool",
+        )
+        if not hasattr(engine, attr)
+    ]
+    if missing:
+        raise ConfigError(
+            f"engine {name!r} is missing required Engine-protocol "
+            f"attribute(s) {missing}"
+        )
+    if not callable(getattr(engine, "run", None)):
+        raise ConfigError(
+            f"engine {name!r} must have a callable run(graph, config, pool)"
+        )
+    schedules = tuple(engine.schedules)
+    if not schedules:
+        raise ConfigError(f"engine {name!r} must support at least one schedule")
+    if engine.default_schedule not in schedules:
+        raise ConfigError(
+            f"engine {name!r}: default_schedule {engine.default_schedule!r} "
+            f"is not among its schedules {schedules}"
+        )
+    unknown = set(engine.deterministic_schedules) - set(schedules)
+    if unknown:
+        raise ConfigError(
+            f"engine {name!r}: deterministic_schedules {sorted(unknown)} "
+            f"not among its schedules {schedules}"
+        )
+
+
+_REGISTRY: dict[str, Engine] = {}
+
+
+def register_engine(engine: Engine, *, replace: bool = False) -> Engine:
+    """Add ``engine`` to the registry (and return it).
+
+    Registered engines immediately appear in :func:`engine_names`, the
+    derived ``ENGINES``/``SCHEDULES`` views, `repro extract --engine`
+    choices, and become valid ``ExtractionConfig.engine`` values.  Pass
+    ``replace=True`` to swap an existing registration (e.g. to wrap a
+    built-in engine); otherwise duplicate names raise
+    :class:`~repro.errors.ConfigError`.
+    """
+    _check_engine_invariants(engine)
+    if engine.name in _REGISTRY and not replace:
+        raise ConfigError(
+            f"engine {engine.name!r} is already registered; "
+            "pass replace=True to override it"
+        )
+    _REGISTRY[engine.name] = engine
+    return engine
+
+
+def unregister_engine(name: str) -> None:
+    """Remove ``name`` from the registry (ConfigError if absent)."""
+    if name not in _REGISTRY:
+        raise ConfigError(f"unknown engine {name!r}; expected one of {engine_names()}")
+    del _REGISTRY[name]
+
+
+def get_engine(name: str) -> Engine:
+    """Look up a registered engine by name.
+
+    Raises
+    ------
+    ConfigError
+        Listing the registered engine names — the error message is
+        derived from the registry, so it stays correct as engines come
+        and go.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown engine {name!r}; expected one of {engine_names()}"
+        ) from None
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def registered_engines() -> tuple[Engine, ...]:
+    """The registered engine objects, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def schedule_names() -> tuple[str, ...]:
+    """Every schedule some registered engine supports.
+
+    Canonical schedules keep their historical order; schedules
+    introduced by third-party engines follow in first-seen order.
+    """
+    seen: set[str] = set()
+    for engine in _REGISTRY.values():
+        seen.update(engine.schedules)
+    names = [s for s in _CANONICAL_SCHEDULES if s in seen]
+    for engine in _REGISTRY.values():
+        names.extend(s for s in engine.schedules if s not in names)
+    return tuple(names)
+
+
+class RegistryView(Sequence):
+    """Immutable, *live* tuple-like view over a registry-derived tuple.
+
+    ``repro.core.extract.ENGINES`` / ``SCHEDULES`` are instances: they
+    compare, iterate, index and ``in``-test like the historical tuples,
+    but re-read the registry on every access so engines registered after
+    import show up (argparse ``choices=`` included).
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source: Callable[[], tuple[str, ...]]) -> None:
+        self._source = source
+
+    def __getitem__(self, index):
+        return self._source()[index]
+
+    def __len__(self) -> int:
+        return len(self._source())
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._source()
+
+    def __iter__(self):
+        return iter(self._source())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RegistryView):
+            return self._source() == other._source()
+        if isinstance(other, (tuple, list)):
+            return self._source() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._source())
+
+    def __repr__(self) -> str:
+        return repr(self._source())
+
+
+# ---------------------------------------------------------------------------
+# Built-in engine registrations.  ``run_fn`` receives the (possibly
+# renumbered) work graph plus the *resolved* ExtractionConfig; resource
+# ownership (pool lifecycle) lives in repro.core.session.
+
+
+def _run_superstep(graph, config, pool):
+    return superstep_max_chordal(
+        graph,
+        variant=config.variant,
+        schedule=config.schedule,
+        collect_trace=config.collect_trace,
+        cost_params=config.cost_params,
+        max_iterations=config.max_iterations,
+    )
+
+
+def _run_threaded(graph, config, pool):
+    edges, queue_sizes = threaded_max_chordal(
+        graph,
+        num_threads=config.num_threads,
+        variant=config.variant,
+        schedule=config.schedule,
+        max_iterations=config.max_iterations,
+    )
+    return edges, queue_sizes, None
+
+
+def _run_process(graph, config, pool):
+    # The dispatcher always supplies the pool for supports_pool engines
+    # (Extractor._ensure_pool sized it with config.num_workers); variant
+    # is validated config-side and does not change the pooled kernels'
+    # edge sets (see process_max_chordal).
+    edges, queue_sizes = pool.extract(
+        graph, schedule=config.schedule, max_iterations=config.max_iterations
+    )
+    return edges, queue_sizes, None
+
+
+def _run_reference(graph, config, pool):
+    # The reference engine has no Opt/Unopt cost asymmetry; the two
+    # variants differ only in cost, so the edge set is identical.
+    edges, queue_sizes = reference_max_chordal(
+        graph, schedule=config.schedule, max_iterations=config.max_iterations
+    )
+    return edges, queue_sizes, None
+
+
+register_engine(
+    EngineSpec(
+        name="superstep",
+        run_fn=_run_superstep,
+        description="serial bulk-array engine, vectorized kernels (default)",
+        deterministic_schedules=("asynchronous", "synchronous"),
+        supports_trace=True,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="threaded",
+        run_fn=_run_threaded,
+        description="real thread team with per-iteration barriers (GIL-bound)",
+        deterministic_schedules=("synchronous",),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="process",
+        run_fn=_run_process,
+        description="worker processes over shared memory (real multi-core speedup)",
+        default_schedule="synchronous",
+        deterministic_schedules=("synchronous",),
+        supports_pool=True,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="reference",
+        run_fn=_run_reference,
+        description="literal pseudocode transcription (the readable spec)",
+        deterministic_schedules=("asynchronous", "synchronous"),
+    )
+)

@@ -1,37 +1,34 @@
-"""Public entry points: :func:`extract_maximal_chordal_subgraph` and the
-batch pipeline :func:`extract_many`.
+"""Legacy keyword entry points, now thin shims over the session API.
 
-The single-graph entry point dispatches between the reference,
-serial-superstep, threaded and process-parallel engines, optionally
-BFS-renumbers the input first (the paper's recipe for guaranteeing a
-connected — hence provably maximal — chordal subgraph on connected
-inputs), optionally stitches disconnected output components, and returns a
-:class:`ChordalResult` bundling the edge set with run metadata.
+The primary API lives one layer down and is what new code should use:
 
-:func:`extract_many` runs a sequence of graphs through the same knobs,
-amortising the expensive part of the ``process`` engine — worker spawn and
-shared-segment setup — across the whole batch by holding one rebindable
-:class:`~repro.core.procpool.ProcessPool` (see ``benchmarks/BENCH_batch
-.json`` for the measured batch-vs-per-call throughput gap).
+* :class:`repro.core.config.ExtractionConfig` — every knob, captured and
+  validated once against the engine registry;
+* :class:`repro.core.session.Extractor` — the session object owning the
+  execution resources (one :class:`~repro.core.procpool.ProcessPool`
+  spawn for any number of extractions), with ``.extract()``,
+  ``.extract_many()`` and the lazy ``.stream()`` generator;
+* :mod:`repro.core.engines` — the registry third-party engines plug into
+  (:func:`~repro.core.engines.register_engine`).
+
+:func:`extract_maximal_chordal_subgraph` and :func:`extract_many` keep
+the original keyword signatures by constructing a one-call session, so
+their outputs are bit-identical to driving :class:`Extractor` directly;
+``ENGINES`` / ``SCHEDULES`` are live views derived from the registry.
+Argument errors raise :class:`~repro.errors.ConfigError`, a subclass of
+the ``ValueError`` these functions historically raised.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
-from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core.connect import stitch_components
-from repro.core.instrument import CostModelParams, WorkTrace
-from repro.core.maximalize import maximalize_chordal_edges
-from repro.core.procpool import ProcessPool, process_max_chordal
-from repro.core.reference import reference_max_chordal
-from repro.core.superstep import superstep_max_chordal
-from repro.core.threaded import threaded_max_chordal
-from repro.graph.bfs import bfs_renumber
+from repro.core.config import VARIANTS, ExtractionConfig
+from repro.core.engines import RegistryView, engine_names, schedule_names
+from repro.core.instrument import CostModelParams
+from repro.core.procpool import ProcessPool
+from repro.core.session import ChordalResult, Extractor
 from repro.graph.csr import CSRGraph
-from repro.graph.ops import edge_subgraph
 
 __all__ = [
     "ChordalResult",
@@ -42,81 +39,12 @@ __all__ = [
     "SCHEDULES",
 ]
 
-#: Parent-advance variants (the paper's Opt / Unopt pair).
-VARIANTS = ("optimized", "unoptimized")
+#: Execution engines — live view over the registry
+#: (:func:`repro.core.engines.register_engine` extends it).
+ENGINES = RegistryView(engine_names)
 
-#: Execution engines.
-ENGINES = ("superstep", "threaded", "process", "reference")
-
-#: Intra-iteration schedules (see repro.core.reference docs).
-SCHEDULES = ("asynchronous", "synchronous")
-
-
-@dataclass
-class ChordalResult:
-    """Result of one maximal-chordal-subgraph extraction.
-
-    Attributes
-    ----------
-    edges:
-        Chordal edge set ``EC`` as an ``(k, 2)`` array, canonicalised to
-        ``u < v`` rows in lexicographic order (engine-independent).
-    queue_sizes:
-        ``|Q1|`` per iteration — the paper's parallelism profile (Fig 7).
-    num_iterations:
-        Number of supersteps executed.
-    variant / engine:
-        How the extraction was run.
-    trace:
-        Work trace for the machine models (``None`` unless requested).
-    graph:
-        The input graph the edges refer to (original ids, even when
-        BFS renumbering was applied internally).
-    """
-
-    edges: np.ndarray
-    queue_sizes: list[int]
-    variant: str
-    engine: str
-    graph: CSRGraph
-    schedule: str = "asynchronous"
-    trace: WorkTrace | None = None
-    renumbered: bool = False
-    stitched_bridges: int = 0
-    maximality_gap: int = 0
-    _subgraph: CSRGraph | None = field(default=None, repr=False)
-
-    @property
-    def num_iterations(self) -> int:
-        return len(self.queue_sizes)
-
-    @property
-    def num_chordal_edges(self) -> int:
-        return int(self.edges.shape[0])
-
-    @property
-    def chordal_fraction(self) -> float:
-        """|EC| / |E| — the statistic the paper reports in Section V."""
-        m = self.graph.num_edges
-        return self.num_chordal_edges / m if m else 1.0
-
-    @property
-    def subgraph(self) -> CSRGraph:
-        """The chordal subgraph ``G' = (V, EC)`` (built lazily, cached)."""
-        if self._subgraph is None:
-            self._subgraph = edge_subgraph(self.graph, self.edges)
-        return self._subgraph
-
-
-def _canonical_edges(edges: np.ndarray) -> np.ndarray:
-    """Normalise rows to (min, max) and sort lexicographically."""
-    e = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
-    if e.size == 0:
-        return e
-    lo = np.minimum(e[:, 0], e[:, 1])
-    hi = np.maximum(e[:, 0], e[:, 1])
-    order = np.lexsort((hi, lo))
-    return np.column_stack((lo[order], hi[order]))
+#: Intra-iteration schedules — live view over the registry.
+SCHEDULES = RegistryView(schedule_names)
 
 
 def extract_maximal_chordal_subgraph(
@@ -124,9 +52,9 @@ def extract_maximal_chordal_subgraph(
     *,
     engine: str = "superstep",
     variant: str = "optimized",
-    schedule: str = "asynchronous",
+    schedule: str | None = "asynchronous",
     num_threads: int = 4,
-    num_workers: int = 4,
+    num_workers: int | None = None,
     renumber: str | None = None,
     stitch: bool = False,
     maximalize: bool = False,
@@ -137,6 +65,12 @@ def extract_maximal_chordal_subgraph(
 ) -> ChordalResult:
     """Extract a maximal chordal subgraph with Algorithm 1.
 
+    Equivalent to ``Extractor(ExtractionConfig(...), pool=pool)
+    .extract(graph)`` with a session per call; hold an
+    :class:`~repro.core.session.Extractor` instead when extracting more
+    than one graph with the process engine (one worker-team spawn for
+    the whole session).
+
     Parameters
     ----------
     graph:
@@ -146,7 +80,8 @@ def extract_maximal_chordal_subgraph(
         (real thread team; GIL-bound), ``"process"`` (worker-process team
         over shared memory — the only engine with real core-level
         speedup; both schedules) or ``"reference"`` (literal
-        pseudocode).
+        pseudocode).  Any engine added via
+        :func:`repro.core.engines.register_engine` is accepted too.
     variant:
         ``"optimized"`` (sorted adjacency) or ``"unoptimized"``.
     schedule:
@@ -162,11 +97,20 @@ def extract_maximal_chordal_subgraph(
         live-state sweep true-parallel: any run yields a valid chordal
         edge set (certify with
         :func:`repro.chordality.verify_extraction`), but the edge set is
-        not bit-reproducible across runs or worker counts.
+        not bit-reproducible across runs or worker counts.  ``None`` is
+        also accepted and resolves to the engine's *registered* default
+        schedule — ``synchronous`` for ``process``, ``asynchronous``
+        otherwise, exactly like :func:`extract_many` and
+        ``ExtractionConfig(schedule=None)``; note this differs from this
+        function's own keyword default for the process engine
+        (historically ``None`` was rejected here).
     num_threads:
         Thread-team size for the threaded engine.
     num_workers:
-        Worker-process count for the process engine.
+        Worker-process count for the process engine (default 4 —
+        explicitly ``None`` means "the pool's size" when ``pool=`` is
+        given; an explicit count conflicting with the pool raises
+        :class:`~repro.errors.ConfigError`).
     renumber:
         ``"bfs"`` renumbers vertices in BFS order before extraction and
         maps the edge set back — on connected inputs this guarantees the
@@ -183,104 +127,36 @@ def extract_maximal_chordal_subgraph(
         addable edges behind (see ``repro.core.maximalize``).  The number
         of edges the pass added is reported as ``result.maximality_gap``.
     collect_trace:
-        Capture the work trace for the machine models (superstep engine
-        only).
+        Capture the work trace for the machine models (``supports_trace``
+        engines only — of the built-ins, ``superstep``).
     cost_params / max_iterations:
         Forwarded to the engine.
     pool:
         An open :class:`~repro.core.procpool.ProcessPool` to run on
-        (``engine="process"`` only).  The pool is rebound to this graph
+        (pool-capable engines only).  The pool is rebound to this graph
         and left open, so repeated calls share one worker team instead of
-        spawning one per call — :func:`extract_many` manages this
-        automatically.
+        spawning one per call — :class:`~repro.core.session.Extractor`
+        and :func:`extract_many` manage this automatically.
 
     Returns
     -------
     :class:`ChordalResult`
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-    if variant not in VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
-    if schedule not in SCHEDULES:
-        raise ValueError(f"unknown schedule {schedule!r}; expected one of {SCHEDULES}")
-    if renumber not in (None, "bfs"):
-        raise ValueError(f"renumber must be None or 'bfs', got {renumber!r}")
-    if collect_trace and engine != "superstep":
-        raise ValueError("collect_trace requires engine='superstep'")
-    if pool is not None and engine != "process":
-        raise ValueError("pool= is only meaningful with engine='process'")
-
-    work_graph = graph
-    old_of_new: np.ndarray | None = None
-    if renumber == "bfs":
-        work_graph, new_of_old = bfs_renumber(graph)
-        old_of_new = np.empty_like(new_of_old)
-        old_of_new[new_of_old] = np.arange(new_of_old.size)
-
-    trace: WorkTrace | None = None
-    if engine == "superstep":
-        edges, queue_sizes, trace = superstep_max_chordal(
-            work_graph,
-            variant=variant,
-            schedule=schedule,
-            collect_trace=collect_trace,
-            cost_params=cost_params,
-            max_iterations=max_iterations,
-        )
-    elif engine == "threaded":
-        edges, queue_sizes = threaded_max_chordal(
-            work_graph,
-            num_threads=num_threads,
-            variant=variant,
-            schedule=schedule,
-            max_iterations=max_iterations,
-        )
-    elif engine == "process":
-        if pool is not None:
-            edges, queue_sizes = pool.extract(
-                work_graph, schedule=schedule, max_iterations=max_iterations
-            )
-        else:
-            edges, queue_sizes = process_max_chordal(
-                work_graph,
-                num_workers=num_workers,
-                variant=variant,
-                schedule=schedule,
-                max_iterations=max_iterations,
-            )
-    else:
-        # The reference engine has no Opt/Unopt cost asymmetry; the two
-        # variants differ only in cost, so the edge set is identical.
-        edges, queue_sizes = reference_max_chordal(
-            work_graph, schedule=schedule, max_iterations=max_iterations
-        )
-
-    if old_of_new is not None and edges.size:
-        edges = np.column_stack((old_of_new[edges[:, 0]], old_of_new[edges[:, 1]]))
-
-    stitched = 0
-    if stitch:
-        before = edges.shape[0]
-        edges = stitch_components(graph, edges)
-        stitched = edges.shape[0] - before
-
-    gap = 0
-    if maximalize:
-        edges, gap = maximalize_chordal_edges(graph, edges)
-
-    return ChordalResult(
-        edges=_canonical_edges(edges),
-        queue_sizes=queue_sizes,
-        variant=variant,
+    config = ExtractionConfig(
         engine=engine,
-        graph=graph,
+        variant=variant,
         schedule=schedule,
-        trace=trace,
-        renumbered=renumber == "bfs",
-        stitched_bridges=stitched,
-        maximality_gap=gap,
+        num_threads=num_threads,
+        num_workers=num_workers,
+        renumber=renumber,
+        stitch=stitch,
+        maximalize=maximalize,
+        collect_trace=collect_trace,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
     )
+    with Extractor(config, pool=pool) as extractor:
+        return extractor.extract(graph)
 
 
 def extract_many(
@@ -290,7 +166,7 @@ def extract_many(
     variant: str = "optimized",
     schedule: str | None = None,
     num_threads: int = 4,
-    num_workers: int = 4,
+    num_workers: int | None = None,
     renumber: str | None = None,
     stitch: bool = False,
     maximalize: bool = False,
@@ -299,15 +175,16 @@ def extract_many(
 ) -> list[ChordalResult]:
     """Extract maximal chordal subgraphs from a batch of graphs.
 
-    Semantically equivalent to calling
-    :func:`extract_maximal_chordal_subgraph` once per graph with the same
-    keyword arguments — every result is bit-identical to its single-call
-    counterpart — but with the per-call setup amortised: for
+    Equivalent to ``Extractor(ExtractionConfig(...), pool=pool)
+    .extract_many(graphs)`` — every result is bit-identical to its
+    single-call counterpart — with the per-call setup amortised: for
     ``engine="process"`` one persistent
     :class:`~repro.core.procpool.ProcessPool` (worker team + shared-memory
     arena) is spawned up front, rebound to each graph in turn, and torn
     down once at the end.  ``benchmarks/record_batch_baseline.py`` records
-    the resulting throughput gap as ``BENCH_batch.json``.
+    the resulting throughput gap as ``BENCH_batch.json``.  For lazy
+    results (no materialised list), use
+    :meth:`~repro.core.session.Extractor.stream`.
 
     Parameters
     ----------
@@ -315,13 +192,14 @@ def extract_many(
         Any iterable of :class:`~repro.graph.csr.CSRGraph` (consumed
         lazily, but all results are materialised into the returned list).
     schedule:
-        ``None`` (default) picks the engine's natural batch schedule:
-        ``"synchronous"`` for the process engine (deterministic outputs —
-        every result stays bit-identical to its single-call counterpart),
-        ``"asynchronous"`` otherwise.  Pass ``"asynchronous"`` explicitly
-        to run the process engine's live-state sweep over the batch.
+        ``None`` (default) picks the engine's registered
+        ``default_schedule``: ``"synchronous"`` for the process engine
+        (deterministic outputs — every result stays bit-identical to its
+        single-call counterpart), ``"asynchronous"`` otherwise.  Pass
+        ``"asynchronous"`` explicitly to run the process engine's
+        live-state sweep over the batch.
     pool:
-        An existing open pool to reuse (``engine="process"`` only); the
+        An existing open pool to reuse (pool-capable engines only); the
         caller keeps ownership and must close it.  With ``pool=None`` a
         temporary pool is created and closed internally.
     engine / variant / num_threads / num_workers / renumber / stitch /
@@ -333,30 +211,16 @@ def extract_many(
     -------
     list of :class:`ChordalResult`, in input order.
     """
-    if pool is not None and engine != "process":
-        raise ValueError("pool= is only meaningful with engine='process'")
-    if schedule is None:
-        schedule = "synchronous" if engine == "process" else "asynchronous"
-    own_pool = engine == "process" and pool is None
-    if own_pool:
-        pool = ProcessPool(num_workers=num_workers)
-    try:
-        return [
-            extract_maximal_chordal_subgraph(
-                g,
-                engine=engine,
-                variant=variant,
-                schedule=schedule,
-                num_threads=num_threads,
-                num_workers=num_workers,
-                renumber=renumber,
-                stitch=stitch,
-                maximalize=maximalize,
-                max_iterations=max_iterations,
-                pool=pool if engine == "process" else None,
-            )
-            for g in graphs
-        ]
-    finally:
-        if own_pool:
-            pool.close()
+    config = ExtractionConfig(
+        engine=engine,
+        variant=variant,
+        schedule=schedule,
+        num_threads=num_threads,
+        num_workers=num_workers,
+        renumber=renumber,
+        stitch=stitch,
+        maximalize=maximalize,
+        max_iterations=max_iterations,
+    )
+    with Extractor(config, pool=pool) as extractor:
+        return extractor.extract_many(graphs)

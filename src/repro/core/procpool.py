@@ -103,7 +103,7 @@ from repro.core.kernels import (
     subset_mask,
     subset_mask_live,
 )
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.parallel.atomics import bulk_compare_and_set
 from repro.parallel.partition import balanced_chunks
@@ -350,7 +350,7 @@ class ProcessPool:
         headroom: float | None = None,
     ) -> None:
         if num_workers < 1:
-            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+            raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
         self.barrier_timeout = (
             self.BARRIER_TIMEOUT if barrier_timeout is None else barrier_timeout
@@ -513,7 +513,7 @@ class ProcessPool:
         if self._closed:
             raise RuntimeError("ProcessPool is closed")
         if schedule not in ("synchronous", "asynchronous"):
-            raise ValueError(
+            raise ConfigError(
                 "schedule must be 'synchronous' or 'asynchronous', "
                 f"got {schedule!r}"
             )
@@ -718,7 +718,7 @@ def process_max_chordal(
     accounting, so both run the sorted-adjacency path.
     """
     if variant not in ("optimized", "unoptimized"):
-        raise ValueError(
+        raise ConfigError(
             f"unknown variant {variant!r}; expected 'optimized' or 'unoptimized'"
         )
     with ProcessPool(graph, num_workers=num_workers) as pool:

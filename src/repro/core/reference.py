@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["reference_max_chordal", "SCHEDULES"]
@@ -77,7 +77,7 @@ def reference_max_chordal(
         ``|Q1|`` for each executed iteration (Figure 7's series).
     """
     if schedule not in SCHEDULES:
-        raise ValueError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
+        raise ConfigError(f"schedule must be one of {SCHEDULES}, got {schedule!r}")
     n = graph.num_vertices
     adj: list[list[int]] = [[int(u) for u in graph.neighbors(v)] for v in range(n)]
 

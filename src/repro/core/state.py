@@ -34,6 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.kernels import initial_parents, lower_counts
+from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -134,7 +135,7 @@ def make_strategy(graph: CSRGraph, variant: str):
         return SortedParentStrategy(graph)
     if variant == "unoptimized":
         return UnsortedParentStrategy(graph)
-    raise ValueError(f"unknown variant {variant!r}; expected 'optimized' or 'unoptimized'")
+    raise ConfigError(f"unknown variant {variant!r}; expected 'optimized' or 'unoptimized'")
 
 
 class ChordalState:

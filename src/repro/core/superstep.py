@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.instrument import CostModelParams, TraceBuilder, WorkTrace
 from repro.core.kernels import vectorized_sync_max_chordal
 from repro.core.state import ChordalState, make_strategy
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["superstep_max_chordal"]
@@ -87,9 +87,9 @@ def superstep_max_chordal(
         :class:`WorkTrace` when requested, else ``None``.
     """
     if use_kernels and collect_trace:
-        raise ValueError("use_kernels=True is incompatible with collect_trace")
+        raise ConfigError("use_kernels=True is incompatible with collect_trace")
     if use_kernels and schedule == "asynchronous":
-        raise ValueError(
+        raise ConfigError(
             "use_kernels=True requires schedule='synchronous'; the "
             "asynchronous sweep has no bulk-kernel form"
         )
@@ -106,7 +106,7 @@ def superstep_max_chordal(
         return _run_sync(
             graph, variant, collect_trace, cost_params, max_iterations
         )
-    raise ValueError(
+    raise ConfigError(
         f"schedule must be 'asynchronous' or 'synchronous', got {schedule!r}"
     )
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.state import ChordalState, make_strategy
-from repro.errors import ConvergenceError
+from repro.errors import ConfigError, ConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.parallel.partition import balanced_chunks
 from repro.parallel.runtime import ThreadTeam
@@ -62,12 +62,12 @@ def threaded_max_chordal(
     differ across runs (as on the paper's hardware).
     """
     if num_threads < 1:
-        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
     if schedule == "asynchronous":
         return _run_async(graph, num_threads, variant, max_iterations)
     if schedule == "synchronous":
         return _run_sync(graph, num_threads, variant, max_iterations)
-    raise ValueError(
+    raise ConfigError(
         f"schedule must be 'asynchronous' or 'synchronous', got {schedule!r}"
     )
 

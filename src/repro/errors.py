@@ -2,8 +2,10 @@
 
 All library-raised errors derive from :class:`ReproError` so callers can
 catch one base class.  Input validation failures raise
-:class:`GraphFormatError` (malformed construction data) or plain
-``ValueError`` (bad scalar arguments), matching common NumPy/SciPy practice.
+:class:`GraphFormatError` (malformed construction data) or
+:class:`ConfigError` (bad argument values or knob combinations); both
+also subclass ``ValueError``, matching common NumPy/SciPy practice, so
+pre-existing ``except ValueError`` call sites keep working.
 """
 
 from __future__ import annotations
@@ -18,6 +20,18 @@ class GraphFormatError(ReproError, ValueError):
 
     Examples: negative vertex ids, edge endpoints out of range, indptr
     arrays that are not monotonically non-decreasing.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised for invalid extraction arguments or knob combinations.
+
+    Examples: unknown engine/variant/schedule names, a schedule the
+    selected engine does not support, ``collect_trace`` on an engine
+    without trace capability, ``pool=`` with a non-process engine or a
+    conflicting ``num_workers``.  Subclasses ``ValueError`` so callers
+    written against the pre-session API (which raised bare
+    ``ValueError``) are unaffected.
     """
 
 

@@ -34,6 +34,46 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["extract", "g.mtx", "--engine", "gpu"])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_engine_choices_derived_from_registry(self, capsys):
+        """--engine choices and help text come from the engine registry:
+        a freshly registered engine is accepted without touching cli.py."""
+        from repro.core.engines import (
+            EngineSpec,
+            register_engine,
+            unregister_engine,
+        )
+
+        spec = EngineSpec(
+            name="clidemo",
+            run_fn=lambda graph, config, pool: (
+                np.empty((0, 2), dtype=np.int64),
+                [],
+                None,
+            ),
+            description="cli registry probe",
+        )
+        register_engine(spec)
+        try:
+            args = build_parser().parse_args(
+                ["extract", "g.mtx", "--engine", "clidemo"]
+            )
+            assert args.engine == "clidemo"
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["extract", "-h"])
+            assert "cli registry probe" in capsys.readouterr().out
+        finally:
+            unregister_engine("clidemo")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["extract", "g.mtx", "--engine", "clidemo"])
+
     def test_generate_families_listed(self):
         args = build_parser().parse_args(["generate", "rmat-b", "--scale", "9"])
         assert args.family == "rmat-b" and args.scale == 9

@@ -50,9 +50,20 @@ class TestResultObject:
 
 
 class TestOptions:
+    # These assert the ValueError back-compat contract of the legacy
+    # shims; the raised type is actually ConfigError (a ValueError
+    # subclass) — see tests/test_session_api.py for the session API.
     def test_invalid_engine(self):
         with pytest.raises(ValueError, match="engine"):
             extract_maximal_chordal_subgraph(cycle_graph(4), engine="gpu")
+
+    def test_errors_catchable_as_reproerror(self):
+        from repro.errors import ConfigError, ReproError
+
+        with pytest.raises(ReproError):
+            extract_maximal_chordal_subgraph(cycle_graph(4), engine="gpu")
+        with pytest.raises(ConfigError):
+            extract_maximal_chordal_subgraph(cycle_graph(4), schedule="warp")
 
     def test_invalid_variant(self):
         with pytest.raises(ValueError, match="variant"):
