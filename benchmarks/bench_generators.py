@@ -1,6 +1,5 @@
 """Microbenchmarks of the graph generators."""
 
-import pytest
 
 from repro.graph.generators.bio import GSE5140_UNT, bio_network
 from repro.graph.generators.rmat import rmat_b, rmat_er

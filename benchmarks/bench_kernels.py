@@ -56,17 +56,17 @@ def test_extract_b_synchronous(benchmark, b11):
     assert edges.shape[0] > 0
 
 
-def test_extract_sync_loop_baseline(benchmark, er11):
-    """The seed pair-loop synchronous engine (regression baseline for the
-    vectorized kernels below)."""
-    edges, _, _ = benchmark(
-        superstep_max_chordal, er11, schedule="synchronous", use_kernels=False
-    )
+def test_extract_sync_driver(benchmark, er11):
+    """Superstep-sync through the unified runtime driver — what the
+    driver layer adds on top of the raw kernel loop below.  (The seed
+    Python pair loop this used to baseline was deleted with the unified
+    runtime; `reference` is the surviving seed-style implementation.)"""
+    edges, _, _ = benchmark(superstep_max_chordal, er11, schedule="synchronous")
     assert edges.shape[0] > 0
 
 
 def test_extract_sync_kernels(benchmark, er11):
-    """Bulk-kernel synchronous engine — same edges as the loop baseline."""
+    """Raw bulk-kernel synchronous loop — same edges as the driver path."""
     edges, _ = benchmark(vectorized_sync_max_chordal, er11)
     assert edges.shape[0] > 0
 

@@ -18,8 +18,13 @@ explicitly:
 The 2x factor absorbs machine-to-machine and load noise; a genuine
 algorithmic regression (e.g. un-vectorizing a kernel, serialising the
 async sweep) is far larger.  After an *intentional* slowdown, re-record
-the relevant baseline (``repro bench --record`` / ``--record-batch`` /
-``--record-async``) and commit it.
+the relevant baseline (``repro bench --record {kernels,batch,async}``)
+and commit it.
+
+A guarded baseline that is *missing* or *schema-stale* (the file exists
+but lacks the keys this guard reads) is a *failure*, not a skip — the
+``test_*_baseline_wellformed`` tests name the broken file and the exact
+re-record command, so the guard can never silently stop guarding.
 """
 
 from __future__ import annotations
@@ -38,20 +43,51 @@ MAX_REGRESSION = 2.0
 #: Floor below which timing jitter dominates and the ratio is meaningless.
 MIN_MEANINGFUL_SECONDS = 1e-3
 
-if BASELINE_PATH.exists():
-    _BASELINE = json.loads(BASELINE_PATH.read_text())["median_seconds"]
-else:  # pragma: no cover - fresh checkout without a recorded baseline
-    _BASELINE = {}
 
-if BATCH_PATH.exists():
-    _BATCH_BASELINE = json.loads(BATCH_PATH.read_text())
-else:  # pragma: no cover - fresh checkout without a recorded baseline
-    _BATCH_BASELINE = {}
+def _load_guarded_baseline(path, required_keys, record_cmd):
+    """Load one guarded BENCH_*.json; returns ``(data, problem)``.
 
-if ASYNC_PATH.exists():
-    _ASYNC_BASELINE = json.loads(ASYNC_PATH.read_text())
-else:  # pragma: no cover - fresh checkout without a recorded baseline
-    _ASYNC_BASELINE = {}
+    ``problem`` is ``None`` for a well-formed file, else a one-line
+    actionable diagnosis (which file, what is wrong, how to re-record).
+    The individual regression tests *skip* on a problem — the dedicated
+    ``test_*_baseline_wellformed`` test turns it into exactly one clear
+    failure instead of one noisy failure per parametrized case.
+    """
+    if not path.exists():
+        return {}, (
+            f"guarded baseline {path} is missing; record it with "
+            f"`{record_cmd}` (on a quiet machine) and commit the file"
+        )
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        return {}, (
+            f"guarded baseline {path} is not valid JSON ({exc}); re-record "
+            f"it with `{record_cmd}` and commit the file"
+        )
+    missing = [k for k in required_keys if k not in data]
+    if missing:
+        return {}, (
+            f"guarded baseline {path} is schema-stale: missing key(s) "
+            f"{missing} (the guard reads {sorted(required_keys)}); it was "
+            f"likely recorded by an older recorder — re-record it with "
+            f"`{record_cmd}` and commit the file"
+        )
+    return data, None
+
+
+_KERNELS_DATA, _KERNELS_PROBLEM = _load_guarded_baseline(
+    BASELINE_PATH, ("median_seconds",), "repro bench --record kernels"
+)
+_BASELINE = _KERNELS_DATA.get("median_seconds", {})
+
+_BATCH_BASELINE, _BATCH_PROBLEM = _load_guarded_baseline(
+    BATCH_PATH, ("batch_seconds",), "repro bench --record batch"
+)
+
+_ASYNC_BASELINE, _ASYNC_PROBLEM = _load_guarded_baseline(
+    ASYNC_PATH, ("scales", "num_workers"), "repro bench --record async"
+)
 
 
 @pytest.fixture(scope="module")
@@ -59,13 +95,30 @@ def kernels():
     return build_kernels()
 
 
-@pytest.mark.skipif(not _BASELINE, reason="no committed BENCH_kernels.json")
+@pytest.mark.parametrize(
+    "problem",
+    [
+        pytest.param(_KERNELS_PROBLEM, id="kernels"),
+        pytest.param(_BATCH_PROBLEM, id="batch"),
+        pytest.param(_ASYNC_PROBLEM, id="async"),
+    ],
+)
+def test_guarded_baseline_wellformed(problem):
+    """Missing/stale baselines fail loudly instead of silently skipping."""
+    assert problem is None, problem
+
+
+@pytest.mark.skipif(_KERNELS_PROBLEM is not None, reason="baseline problem reported above")
 def test_baseline_covers_registry(kernels):
     """Every registered kernel has a recorded baseline and vice versa."""
-    assert set(_BASELINE) == set(kernels)
+    assert set(_BASELINE) == set(kernels), (
+        "BENCH_kernels.json entries diverge from the kernel registry in "
+        "benchmarks/record_baseline.py; re-record with "
+        "`repro bench --record kernels` and commit the file"
+    )
 
 
-@pytest.mark.skipif(not _BASELINE, reason="no committed BENCH_kernels.json")
+@pytest.mark.skipif(_KERNELS_PROBLEM is not None, reason="baseline problem reported above")
 @pytest.mark.parametrize("name", sorted(_BASELINE))
 def test_kernel_not_regressed(kernels, name):
     if name not in kernels:
@@ -80,7 +133,7 @@ def test_kernel_not_regressed(kernels, name):
     )
 
 
-@pytest.mark.skipif(not _BATCH_BASELINE, reason="no committed BENCH_batch.json")
+@pytest.mark.skipif(_BATCH_PROBLEM is not None, reason="baseline problem reported above")
 def test_batch_throughput_not_regressed():
     """extract_many over one persistent pool must stay within 2x of the
     recorded batch wall-clock (BENCH_batch.json)."""
@@ -102,7 +155,7 @@ def test_batch_throughput_not_regressed():
     )
 
 
-@pytest.mark.skipif(not _ASYNC_BASELINE, reason="no committed BENCH_async.json")
+@pytest.mark.skipif(_ASYNC_PROBLEM is not None, reason="baseline problem reported above")
 @pytest.mark.parametrize("scale", GUARD_SCALES)
 def test_async_process_not_regressed(scale):
     """The asynchronous process engine must stay within 2x of the recorded

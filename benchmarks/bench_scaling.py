@@ -41,14 +41,15 @@ def measure_scaling(
     seed: int = DEFAULT_SEED,
     repeats: int = 3,
 ) -> dict:
-    """Wall-clock seconds for loop / kernels / process@W on one graph.
+    """Wall-clock seconds for reference / kernels / process@W on one graph.
 
     Thin wrapper over :func:`repro.experiments.scaling_measured
     .measure_engines` (the one measurement protocol both this script and
     the registered experiment report) adding graph identification.
 
-    Returns ``{"graph", "n", "m", "loop", "kernels", "process": {W: t},
-    "speedup": {label: x}}`` with speedups relative to the loop engine.
+    Returns ``{"graph", "n", "m", "reference", "kernels", "process":
+    {W: t}, "speedup": {label: x}}`` with speedups relative to the
+    reference engine (the seed implementation style).
     """
     graph = build_graph_cached(rmat_spec(kind, scale, seed))
     measures = measure_engines(graph, workers=workers, repeats=repeats)
@@ -86,14 +87,14 @@ def main() -> None:
         )
         results.append(r)
 
-    headers = ["Graph", "n", "m", "loop s", "kernels s"] + [
+    headers = ["Graph", "n", "m", "reference s", "kernels s"] + [
         f"proc@{w} s" for w in args.workers
     ] + ["best speedup"]
     rows = []
     for r in results:
         best = max(r["speedup"].values())
         rows.append(
-            [r["graph"], r["n"], r["m"], round(r["loop"], 3),
+            [r["graph"], r["n"], r["m"], round(r["reference"], 3),
              round(r["kernels"], 3)]
             + [round(r["process"][w], 3) for w in args.workers]
             + [f"{best:.1f}x"]

@@ -95,8 +95,17 @@ def build_kernels() -> dict:
         "extract_async_unopt_er11": lambda: superstep_max_chordal(
             er11, variant="unoptimized"
         ),
-        "extract_sync_loop_er11": lambda: superstep_max_chordal(
-            er11, schedule="synchronous", use_kernels=False
+        # Superstep-sync through the unified runtime driver (LocalState +
+        # SerialExecutor); replaces the historical `use_kernels=False`
+        # Python pair loop, which was deleted in the runtime refactor.
+        "extract_sync_driver_er11": lambda: superstep_max_chordal(
+            er11, schedule="synchronous"
+        ),
+        # The traced path (driver-side trace reconstruction) is the
+        # slowest remaining superstep-sync variant; guard it so trace
+        # collection can't quietly become pathological.
+        "extract_sync_traced_er11": lambda: superstep_max_chordal(
+            er11, schedule="synchronous", collect_trace=True
         ),
         "extract_sync_kernels_er11": lambda: vectorized_sync_max_chordal(er11),
         "extract_sync_kernels_b11": lambda: vectorized_sync_max_chordal(b11),

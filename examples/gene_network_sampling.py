@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro import extract_maximal_chordal_subgraph
 from repro.analysis import average_clustering, degree_stats

@@ -7,12 +7,14 @@ Opteron models, and prints the scaling curves and speedup rows the paper
 reports.  The XMT/Opteron numbers are *modeled* (DESIGN.md §3: the
 threaded engine is GIL-bound), but the final section is **measured**: the
 ``engine="process"`` worker team runs the synchronous schedule over
-shared memory on this host's real cores, next to the seed Python-loop
-engine it is compared against.  Representative run on the recording
-container (1 core, RMAT-ER scale 14): loop 0.25 s → bulk kernels 0.04 s
-→ process@4 0.054 s, a 4.6x measured speedup over the seed engine from
-vectorization alone; on a multi-core host the worker sweep descends
-further.  (``benchmarks/bench_scaling.py`` prints the full curve.)
+shared memory on this host's real cores, next to the literal reference
+engine it is compared against (the seed implementation style; the
+historical Python pair loop was absorbed into the unified runtime).
+Representative run on the recording container (1 core, RMAT-ER scale
+14): seed-style loop 0.25 s → bulk kernels 0.04 s → process@4 0.054 s, a
+4.6x measured speedup from vectorization alone; on a multi-core host the
+worker sweep descends further.  (``benchmarks/bench_scaling.py`` prints
+the full curve.)
 
 Run:
     python examples/platform_scaling.py [--kind RMAT-B] [--scale 12]
@@ -44,13 +46,13 @@ def measured_scaling(graph, workers=MEASURED_SWEEP) -> None:
     """
     print("--- measured on this host: engine='process' (synchronous) ---")
     m = measure_engines(graph, workers=workers)
-    print(f"serial Python-loop engine: {format_seconds(m['loop'])}")
+    print(f"reference engine (seed)  : {format_seconds(m['reference'])}")
     print(f"vectorized kernel engine : {format_seconds(m['kernels'])} "
-          f"({m['speedup']['kernels']:.1f}x vs loop)")
+          f"({m['speedup']['kernels']:.1f}x vs reference)")
     for w in workers:
         print(f"process engine, {w} worker(s): "
               f"{format_seconds(m['process'][w])} "
-              f"({m['speedup'][f'process@{w}']:.1f}x vs loop)")
+              f"({m['speedup'][f'process@{w}']:.1f}x vs reference)")
 
 
 def main() -> None:

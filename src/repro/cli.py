@@ -19,13 +19,19 @@ Subcommands
     the supported way to validate the nondeterministic asynchronous
     schedules, whose output is *any* valid extraction rather than a
     bit-reproducible one.
+``verify``
+    Standalone certification of a *saved* extraction: given the input
+    graph file and the extracted subgraph file, re-run
+    :func:`repro.chordality.verify_extraction` (chordality + maximality
+    by default) and exit 3 on failure — the offline mirror of ``repro
+    extract --verify`` for outputs produced earlier or elsewhere.
 ``generate``
     Write an R-MAT / random / chordal family graph to file (or stdout).
 ``bench``
     One-command performance guard: runs
     ``benchmarks/bench_regression_guard.py`` (the 2x kernel-regression
-    gate), or re-records the baselines with ``--record`` /
-    ``--record-batch``.
+    gate), or re-records a baseline with ``--record
+    {kernels,batch,async,all}``.
 ``experiments``
     Delegates to :mod:`repro.experiments.runner` (tables and figures).
 
@@ -88,9 +94,18 @@ __all__ = ["main", "build_parser"]
 
 #: family name -> (builder from parsed args, knobs used) for ``generate``.
 _FAMILIES = {
-    "rmat-er": (lambda a: rmat_er(a.scale, seed=a.seed, edge_factor=a.edge_factor), "--scale/--edge-factor"),
-    "rmat-g": (lambda a: rmat_g(a.scale, seed=a.seed, edge_factor=a.edge_factor), "--scale/--edge-factor"),
-    "rmat-b": (lambda a: rmat_b(a.scale, seed=a.seed, edge_factor=a.edge_factor), "--scale/--edge-factor"),
+    "rmat-er": (
+        lambda a: rmat_er(a.scale, seed=a.seed, edge_factor=a.edge_factor),
+        "--scale/--edge-factor",
+    ),
+    "rmat-g": (
+        lambda a: rmat_g(a.scale, seed=a.seed, edge_factor=a.edge_factor),
+        "--scale/--edge-factor",
+    ),
+    "rmat-b": (
+        lambda a: rmat_b(a.scale, seed=a.seed, edge_factor=a.edge_factor),
+        "--scale/--edge-factor",
+    ),
     "gnp": (lambda a: gnp_random_graph(a.n, a.p, seed=a.seed), "--n/--p"),
     "gnm": (lambda a: gnm_random_graph(a.n, a.m, seed=a.seed), "--n/--m"),
     "ba": (lambda a: barabasi_albert(a.n, a.m, seed=a.seed), "--n/--m"),
@@ -187,6 +202,42 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true", help="suppress per-graph stats on stderr"
     )
 
+    ver = sub.add_parser(
+        "verify",
+        help="certify a saved extraction (chordality + maximality)",
+        description="Re-verify a saved extraction: load the input graph and "
+        "the extracted subgraph, and certify the subgraph is a (maximal) "
+        "chordal subgraph of the input via verify_extraction.  Mirrors "
+        "`repro extract --verify` for outputs written earlier or by other "
+        "tools.  Exit 0 when valid, 3 when any check fails.",
+    )
+    ver.add_argument("graph", help="input graph file; '-' reads from stdin")
+    ver.add_argument(
+        "subgraph", help="extracted subgraph file; '-' reads from stdin"
+    )
+    ver.add_argument(
+        "--input-format",
+        choices=FORMATS,
+        default=None,
+        help="graph file format (default: auto-detect)",
+    )
+    ver.add_argument(
+        "--subgraph-format",
+        choices=FORMATS,
+        default=None,
+        help="subgraph file format (default: auto-detect)",
+    )
+    ver.add_argument(
+        "--chordal-only",
+        action="store_true",
+        help="skip the maximality certificate (chordality + edge validity "
+        "only) — use for outputs extracted without --maximalize, which "
+        "Algorithm 1 alone does not guarantee to be maximal",
+    )
+    ver.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the verdict line on success"
+    )
+
     gen = sub.add_parser(
         "generate",
         help="generate a graph family to file",
@@ -216,18 +267,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the kernel regression guard / record baselines",
         description="Without flags, runs benchmarks/bench_regression_guard.py "
         "(fails if any hot kernel is >2x slower than BENCH_kernels.json, or "
-        "the batch/async engine baselines regress >2x). "
-        "--record re-records the kernel baseline; --record-batch records the "
-        "extract_many batch-throughput baseline (BENCH_batch.json); "
-        "--record-async records the asynchronous-schedule baseline "
-        "(BENCH_async.json).",
-    )
-    be.add_argument("--record", action="store_true", help="re-record BENCH_kernels.json")
-    be.add_argument(
-        "--record-batch", action="store_true", help="record BENCH_batch.json"
+        "the batch/async engine baselines regress >2x).  --record re-records "
+        "one baseline: 'kernels' (BENCH_kernels.json), 'batch' (the "
+        "extract_many batch-throughput baseline, BENCH_batch.json), 'async' "
+        "(the asynchronous-schedule baseline, BENCH_async.json), or 'all'.",
     )
     be.add_argument(
-        "--record-async", action="store_true", help="record BENCH_async.json"
+        "--record",
+        nargs="?",
+        const="kernels",
+        choices=("kernels", "batch", "async", "all"),
+        default=None,
+        help="re-record a baseline (bare --record means 'kernels', its "
+        "historical meaning)",
+    )
+    be.add_argument(
+        "--record-batch",
+        action="store_true",
+        help="deprecated alias for --record batch",
+    )
+    be.add_argument(
+        "--record-async",
+        action="store_true",
+        help="deprecated alias for --record async",
     )
     be.add_argument(
         "pytest_args", nargs="*", help="extra arguments forwarded to pytest"
@@ -391,6 +453,46 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.chordality.verify import verify_extraction
+
+    if args.graph == "-" and args.subgraph == "-":
+        print(
+            "repro verify: error: only one of graph/subgraph can read stdin",
+            file=sys.stderr,
+        )
+        return 2
+    if args.graph == "-":
+        graph = _read_stdin(args.input_format)
+    else:
+        graph = load_graph(args.graph, format=args.input_format)
+    if args.subgraph == "-":
+        extracted = _read_stdin(args.subgraph_format)
+    else:
+        extracted = load_graph(args.subgraph, format=args.subgraph_format)
+    # Hand verify_extraction the edge array, not the reloaded CSR graph:
+    # text formats drop trailing isolated vertices, so the reloaded vertex
+    # count routinely differs from the input's — the edge-set path
+    # normalises that (and reports out-of-range rows instead of raising).
+    report = verify_extraction(
+        graph, extracted.edge_array(), check_maximal=not args.chordal_only
+    )
+    if not report.ok:
+        print(
+            f"repro verify: verification failed for {args.subgraph}: {report}",
+            file=sys.stderr,
+        )
+        return 3
+    if not args.quiet:
+        print(
+            f"{args.subgraph}: {report} against {args.graph} "
+            f"(n={graph.num_vertices} m={graph.num_edges} "
+            f"subgraph_edges={extracted.num_edges})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = _FAMILIES[args.family][0](args)
     if args.output == "-":
@@ -400,15 +502,46 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: --record target -> benchmarks/ module whose record() writes it.
+_RECORDERS = {
+    "kernels": "record_baseline",
+    "batch": "record_batch_baseline",
+    "async": "bench_async_process",
+}
+
+
+def _resolve_record_target(args: argparse.Namespace) -> str | None:
+    """Fold the deprecated alias flags into the --record choice.
+
+    The historical ``--record`` / ``--record-batch`` / ``--record-async``
+    booleans silently combined (last writer won, others were ignored);
+    any two record requests are now an explicit error.
+    """
+    requested: list[str] = []
+    if args.record is not None:
+        requested.append(args.record)
+    for alias, target in (("--record-batch", "batch"), ("--record-async", "async")):
+        if getattr(args, alias.strip("-").replace("-", "_")):
+            print(
+                f"repro bench: warning: {alias} is deprecated; "
+                f"use --record {target}",
+                file=sys.stderr,
+            )
+            requested.append(target)
+    if len(requested) > 1:
+        raise ReproError(
+            f"conflicting record flags {requested}; pass a single "
+            "--record {kernels,batch,async,all}"
+        )
+    return requested[0] if requested else None
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
-    if args.record:
-        _load_bench_module("record_baseline").record()
-        return 0
-    if args.record_batch:
-        _load_bench_module("record_batch_baseline").record()
-        return 0
-    if args.record_async:
-        _load_bench_module("bench_async_process").record()
+    target = _resolve_record_target(args)
+    if target is not None:
+        names = list(_RECORDERS) if target == "all" else [target]
+        for name in names:
+            _load_bench_module(_RECORDERS[name]).record()
         return 0
     guard = _repo_root() / "benchmarks" / "bench_regression_guard.py"
     if not guard.exists():
@@ -428,6 +561,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "extract": _cmd_extract,
+    "verify": _cmd_verify,
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "experiments": _cmd_experiments,

@@ -2,16 +2,22 @@
 
 Algorithm 1 of the paper, in four interchangeable engines that all produce
 *identical* chordal edge sets under the canonical snapshot-per-superstep
-semantics (see DESIGN.md §5):
+semantics (see DESIGN.md §5).  The schedule loop itself is implemented
+once, in the unified runtime (:mod:`repro.core.runtime`: one driver over
+pluggable StateBackend × ExecutorBackend pairings); the engine modules
+are the thin pairings:
 
 * :mod:`repro.core.reference` — literal pure-Python transcription of the
-  pseudocode (dicts and sets; the readable spec).
-* :mod:`repro.core.superstep` — array-based serial engine with the paper's
-  *optimized* (sorted adjacency) and *unoptimized* (scan) parent strategies.
-* :mod:`repro.core.threaded` — real ``threading`` engine with a persistent
-  thread team and per-iteration barriers (GIL-bound; demonstrates the
-  concurrency structure).
-* :mod:`repro.core.procpool` — worker-*process* engine over shared memory,
+  pseudocode (dicts and sets; the readable spec — deliberately not
+  runtime-based).
+* :mod:`repro.core.superstep` — ``LocalState`` × ``SerialExecutor``: the
+  serial array engine with the paper's *optimized* / *unoptimized*
+  parent-advance cost models.
+* :mod:`repro.core.threaded` — ``LocalState`` × ``ThreadTeamExecutor``:
+  real ``threading`` threads with per-iteration barriers (GIL-bound;
+  demonstrates the concurrency structure).
+* :mod:`repro.core.procpool` — ``SharedSegmentState`` ×
+  ``ProcessTeamExecutor``: worker *processes* over shared memory,
   executing the bulk kernels of :mod:`repro.core.kernels` with real
   core-level parallelism (both schedules).
 
@@ -52,6 +58,15 @@ from repro.core.superstep import superstep_max_chordal
 from repro.core.threaded import threaded_max_chordal
 from repro.core.connect import stitch_components
 from repro.core.instrument import WorkTrace, IterationTrace, CostModelParams
+from repro.core.runtime import (
+    LocalState,
+    ProcessTeamExecutor,
+    SerialExecutor,
+    SharedSegmentState,
+    ThreadTeamExecutor,
+    backend_run_fn,
+    drive,
+)
 
 __all__ = [
     "ChordalResult",
@@ -80,4 +95,11 @@ __all__ = [
     "WorkTrace",
     "IterationTrace",
     "CostModelParams",
+    "drive",
+    "backend_run_fn",
+    "LocalState",
+    "SharedSegmentState",
+    "SerialExecutor",
+    "ThreadTeamExecutor",
+    "ProcessTeamExecutor",
 ]

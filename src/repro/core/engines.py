@@ -18,35 +18,47 @@ The legacy module-level tuples ``repro.core.extract.ENGINES`` /
 
 Built-in engines
 ----------------
+All four are pairings of the unified runtime's backends
+(:mod:`repro.core.runtime`): one schedule driver over a StateBackend ×
+ExecutorBackend choice.
+
 ``superstep``
-    Serial bulk-array engine (vectorized kernels); deterministic under
-    both schedules; the only engine that can collect a work trace.
+    ``LocalState`` × ``SerialExecutor`` (vectorized kernels);
+    deterministic under both schedules; collects work traces.
 ``threaded``
-    Real thread team with per-iteration barriers (GIL-bound);
-    asynchronous output may differ run to run.
+    ``LocalState`` × ``ThreadTeamExecutor`` — real threads with
+    per-iteration barriers (GIL-bound); asynchronous output may differ
+    run to run; collects work traces (its synchronous trace is identical
+    to ``superstep``'s, the trace being a property of the schedule).
 ``process``
-    Worker-process team over shared memory — real core-level speedup;
-    runs on a reusable :class:`~repro.core.procpool.ProcessPool`
-    (``supports_pool``); synchronous output is bit-identical to
-    ``superstep`` for any worker count.
+    ``SharedSegmentState`` × ``ProcessTeamExecutor`` — worker processes
+    over shared memory, real core-level speedup; runs on a reusable
+    :class:`~repro.core.procpool.ProcessPool` (``supports_pool``);
+    synchronous output is bit-identical to ``superstep`` for any worker
+    count.
 ``reference``
     Literal pseudocode transcription; deterministic under both
-    schedules; the readable spec.
+    schedules; the readable spec (kept loop-for-loop with the paper, so
+    deliberately *not* rewritten over the runtime).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.core.instrument import WorkTrace
 from repro.core.procpool import ProcessPool
 from repro.core.reference import reference_max_chordal
-from repro.core.superstep import superstep_max_chordal
-from repro.core.threaded import threaded_max_chordal
+from repro.core.runtime import (
+    LocalState,
+    SerialExecutor,
+    ThreadTeamExecutor,
+    backend_run_fn,
+)
 from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 
@@ -321,28 +333,22 @@ class RegistryView(Sequence):
 # Built-in engine registrations.  ``run_fn`` receives the (possibly
 # renumbered) work graph plus the *resolved* ExtractionConfig; resource
 # ownership (pool lifecycle) lives in repro.core.session.
+#
+# The in-process engines are pure backend pairings over the unified
+# runtime (:mod:`repro.core.runtime`): a StateBackend factory plus an
+# ExecutorBackend factory, glued by ``backend_run_fn``.  The process
+# engine pairs SharedSegmentState with ProcessTeamExecutor through the
+# pool the session supplies (the pool owns the segment/team lifecycle).
 
+_run_superstep = backend_run_fn(
+    lambda graph, num_slices, config: LocalState(graph, num_slices),
+    lambda config: SerialExecutor(),
+)
 
-def _run_superstep(graph, config, pool):
-    return superstep_max_chordal(
-        graph,
-        variant=config.variant,
-        schedule=config.schedule,
-        collect_trace=config.collect_trace,
-        cost_params=config.cost_params,
-        max_iterations=config.max_iterations,
-    )
-
-
-def _run_threaded(graph, config, pool):
-    edges, queue_sizes = threaded_max_chordal(
-        graph,
-        num_threads=config.num_threads,
-        variant=config.variant,
-        schedule=config.schedule,
-        max_iterations=config.max_iterations,
-    )
-    return edges, queue_sizes, None
+_run_threaded = backend_run_fn(
+    lambda graph, num_slices, config: LocalState(graph, num_slices),
+    lambda config: ThreadTeamExecutor(config.num_threads),
+)
 
 
 def _run_process(graph, config, pool):
@@ -380,6 +386,7 @@ register_engine(
         run_fn=_run_threaded,
         description="real thread team with per-iteration barriers (GIL-bound)",
         deterministic_schedules=("synchronous",),
+        supports_trace=True,
     )
 )
 register_engine(

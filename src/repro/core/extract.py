@@ -128,7 +128,9 @@ def extract_maximal_chordal_subgraph(
         of edges the pass added is reported as ``result.maximality_gap``.
     collect_trace:
         Capture the work trace for the machine models (``supports_trace``
-        engines only — of the built-ins, ``superstep``).
+        engines only — of the built-ins, ``superstep`` and ``threaded``;
+        their synchronous traces are identical, the trace being a
+        property of the schedule).
     cost_params / max_iterations:
         Forwarded to the engine.
     pool:

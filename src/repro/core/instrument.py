@@ -22,6 +22,15 @@ ones:
    reproduces the paper's RMAT-B and gene-network behaviour on the XMT.
 
 Iterations are separated by barriers, so chains never span iterations.
+
+Since the unified-runtime refactor, trace collection is a feature of the
+schedule *driver* (:func:`repro.core.runtime.driver.drive`), not of any
+one engine: synchronous traces are reconstructed from each round's
+barrier snapshot in canonical ascending order (identical for the serial
+and thread-team executors — the trace is a property of the schedule),
+and asynchronous-sweep traces are recorded at service time.  Engines
+whose registry entry sets ``supports_trace`` (``superstep`` and
+``threaded``) accept ``collect_trace=True`` through the session API.
 """
 
 from __future__ import annotations

@@ -9,8 +9,8 @@ the synchronous superstep engine (``collect_trace=False``) and the compute
 body each worker of the ``process`` engine executes on its shared-memory
 slice.
 
-The kernels operate on the same flat data layout as
-:class:`repro.core.state.ChordalState`:
+The kernels operate on the canonical flat data layout of
+:mod:`repro.core.runtime.layout`:
 
 * ``offsets`` / ``arena`` / ``counts`` — per-vertex chordal sets ``C[v]``
   stored as sorted runs in one flat arena (``C[v]`` is

@@ -2,32 +2,29 @@
 
 The CPython GIL means the ``threaded`` engine demonstrates the paper's
 concurrency structure without ever running faster than one core.  This
-engine escapes the GIL: a persistent team of **worker processes** executes
+engine escapes the GIL: a persistent team of **worker processes**
+(:class:`~repro.core.runtime.executors.ProcessTeamExecutor`) executes
 either schedule over state held in a single
-``multiprocessing.shared_memory`` segment (:mod:`repro.parallel.shm`), so
-iterations run on real cores with zero per-iteration serialisation of the
-graph or the chordal arena.
+``multiprocessing.shared_memory`` segment
+(:class:`~repro.core.runtime.state.SharedSegmentState`), so iterations
+run on real cores with zero per-iteration serialisation of the graph or
+the chordal arena.
 
-Execution shape per superstep (mirrors the paper's "for all v in Q1 in
-parallel" with an implicit barrier):
+Since the unified-runtime refactor the schedule loop itself lives in
+:func:`repro.core.runtime.driver.drive` — shared verbatim with the serial
+and threaded engines — and this module owns only what is specific to the
+process pairing: the pool lifecycle (bind / capacity growth / teardown)
+and the worker-team restart protocol.
 
-1. The coordinator computes the active set, freezes the parent assignments
-   and chordal-set prefix lengths (the barrier snapshot), compresses the
-   filled arena into the sorted key array (:func:`~repro.core.kernels
-   .build_arena_keys`), and publishes contiguous, cost-balanced slices of
-   the active list.
-2. Every worker runs the bulk kernels of :mod:`repro.core.kernels` on its
-   slice: snapshot-bounded subset tests, arena appends, parent advances.
-   The unique-writer discipline of :mod:`repro.core.state` carries over
-   verbatim — each active vertex belongs to exactly one slice, so its
-   ``counts`` / ``cursor`` / ``lp`` slots and arena run have one writing
-   process; all cross-vertex reads go through the immutable snapshot.
-3. A barrier joins the team; the coordinator gathers accepted pairs from
-   the shared ``ok`` flags.
-
-Because every subset test is evaluated against the same barrier snapshot
-regardless of worker count or timing, the edge set is **bit-identical** to
-the serial synchronous superstep engine for any number of workers.
+Execution shape per round (mirrors the paper's "for all v in Q1 in
+parallel" with an implicit barrier): the driver publishes the active set,
+cost-balanced slice cuts and (synchronous schedule) the barrier snapshot
++ compressed key array into the segment; every worker runs the bulk
+kernel round body of :mod:`repro.core.runtime.rounds` on its slice; the
+barrier agent joins the team.  Because every synchronous subset test is
+evaluated against the same barrier snapshot regardless of worker count or
+timing, the edge set is **bit-identical** to the serial synchronous
+engine for any number of workers.
 
 Asynchronous schedule
 ---------------------
@@ -36,7 +33,8 @@ true-parallel: per round, vertex-partitioned workers sweep their slices of
 the live active set **without a snapshot** — subset tests probe whatever
 prefix of each parent's chordal set other workers have published by probe
 time (:func:`~repro.core.kernels.subset_mask_live`).  Correctness under
-the races this admits rests on three pillars:
+the races this admits rests on three pillars (see
+:func:`~repro.core.runtime.rounds.run_async_slice` for the mechanics):
 
 1. *Unique writer* — within a round each child vertex belongs to exactly
    one worker's slice, so its ``counts`` / ``cursor`` / ``lp`` words, its
@@ -46,24 +44,17 @@ the races this admits rests on three pillars:
 2. *Ordered publication* — :func:`~repro.core.kernels.append_accepted`
    writes every arena slot before bumping the owner's ``counts`` word, so
    a concurrently gathered prefix length always covers fully-written,
-   sorted elements, and any element it misses is strictly larger than the
-   frozen prefix's bound (the paper's ordered-chordal-set observation).
-   A racing read can therefore only *reject* an edge, never admit a
-   chord-violating one — the conflict-resolution rule of the paper.
+   sorted elements.  A racing read can therefore only *reject* an edge,
+   never admit a chord-violating one.
 3. *Lock-free edge claims* — every ``(child, parent)`` arc owns one
    shared edge-state word, flipped ``UNDECIDED -> ACCEPTED/REJECTED``
-   exactly once via :func:`~repro.parallel.atomics.bulk_compare_and_set`;
-   a lost claim drops the arc, so no edge can be appended or reported
-   twice even if a scheduling bug double-serviced a vertex.  The final
-   accounting (accepted claims == arena append total == reported edges)
-   is verified after every asynchronous run.
+   exactly once; the final claim/append/edge accounting is verified by
+   the driver after every asynchronous run.
 
-The output is *any-valid*: a chordal subgraph whose edge set may differ
-run to run and from the other engines (exactly like the Cray XMT runs the
-paper reports), certified by :func:`repro.chordality.verify_extraction`
-rather than by bit-identity.  Per-worker **epoch counters** in the shared
-segment let the coordinator assert, after every round, that each worker
-actually swept its slice.
+The output is *any-valid* (exactly like the Cray XMT runs the paper
+reports), certified by :func:`repro.chordality.verify_extraction` rather
+than by bit-identity.  Per-worker **epoch counters** let the executor
+assert, after every round, that each worker actually swept its slice.
 
 Batch amortisation
 ------------------
@@ -78,234 +69,25 @@ capacities triggers one of two growth paths:
 
 * the new (doubled) layout still fits the over-allocated segment — the
   coordinator bumps a layout generation in the control block and every
-  worker remaps its views in place at the next superstep
-  (:meth:`repro.parallel.shm.SharedArrayBlock.remap`); the team survives;
+  worker remaps its views in place at the next superstep; the team
+  survives;
 * the segment itself is too small — the team is torn down and restarted
   over a fresh, geometrically larger segment (amortised O(log) restarts
   over any batch).
-
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-
 import numpy as np
 
-from repro.core.kernels import (
-    advance_parents,
-    append_accepted,
-    arena_offsets,
-    assemble_edges,
-    build_arena_keys,
-    initial_parents,
-    lower_counts,
-    subset_mask,
-    subset_mask_live,
-)
-from repro.errors import ConfigError, ConvergenceError
+from repro.core.kernels import arena_offsets, lower_counts
+from repro.core.runtime.driver import drive
+from repro.core.runtime.executors import ProcessTeamExecutor, WorkerTeamError
+from repro.core.runtime.state import SharedSegmentState
+from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
-from repro.parallel.atomics import bulk_compare_and_set
-from repro.parallel.partition import balanced_chunks
-from repro.parallel.shm import SharedArrayBlock, layout_size
 
 __all__ = ["ProcessPool", "process_max_chordal"]
-
-# Control-block slots (int64 each).  The control array is the first entry
-# of every spec, so it sits at offset 0 of the segment across remaps and
-# is the one layout-independent channel between coordinator and workers.
-_CTRL_CMD = 0
-_CTRL_NKEYS = 1
-_CTRL_ERROR = 2
-_CTRL_N = 3
-_CTRL_GEN = 4
-_CTRL_N_CAP = 5
-_CTRL_NNZ_CAP = 6
-_CTRL_ARENA_CAP = 7
-_CTRL_SCHEDULE = 8
-_CTRL_SLOTS = 9
-
-_CMD_RUN = 0
-_CMD_SHUTDOWN = 1
-
-_SCHED_SYNC = 0
-_SCHED_ASYNC = 1
-
-#: Edge-state claim words: one per (child, parent) arc, indexed by
-#: ``offsets[w] + cursor`` (the arc's position in the child's lower-
-#: neighbor prefix).  Flipped away from UNDECIDED exactly once.
-EDGE_UNDECIDED = 0
-EDGE_ACCEPTED = 1
-EDGE_REJECTED = 2
-
-
-def _build_spec(
-    n_cap: int, nnz_cap: int, arena_cap: int, num_workers: int
-) -> dict[str, tuple[str, tuple[int, ...]]]:
-    """Shared-segment layout with room for any graph of at most ``n_cap``
-    vertices, ``nnz_cap`` arcs and ``arena_cap`` arena slots (== undirected
-    edges).  The bound graph's actual sizes live in the control block;
-    every array is used as a prefix."""
-    return {
-        "control": ("int64", (_CTRL_SLOTS,)),
-        "cuts": ("int64", (num_workers + 1,)),
-        "indptr": ("int64", (n_cap + 1,)),
-        "indices": ("int64", (nnz_cap,)),
-        "lower": ("int64", (n_cap,)),
-        "offsets": ("int64", (n_cap + 1,)),
-        "arena": ("int64", (arena_cap,)),
-        "keys": ("int64", (arena_cap,)),
-        "counts": ("int64", (n_cap,)),
-        "snapshot": ("int64", (n_cap,)),
-        "cursor": ("int64", (n_cap,)),
-        "lp": ("int64", (n_cap,)),
-        "active": ("int64", (n_cap,)),
-        "parents": ("int64", (n_cap,)),
-        "edge_state": ("int64", (arena_cap,)),
-        "epochs": ("int64", (num_workers,)),
-        "ok": ("uint8", (n_cap,)),
-    }
-
-
-def _run_slice(tid: int, a: dict[str, np.ndarray]) -> None:
-    """One worker's share of one superstep (pure kernel calls).
-
-    All arrays are capacity-sized; per-vertex indexing (``ws`` / ``vs`` are
-    ids of the bound graph) and the ``nkeys`` prefix keep every access
-    inside the bound graph's live region.
-    """
-    ctrl = a["control"]
-    n = int(ctrl[_CTRL_N])
-    nkeys = int(ctrl[_CTRL_NKEYS])
-    cuts = a["cuts"]
-    start, stop = int(cuts[tid]), int(cuts[tid + 1])
-    if start >= stop:
-        return
-    ws = a["active"][start:stop]
-    vs = a["parents"][start:stop]
-    ok = subset_mask(
-        a["keys"][:nkeys], a["arena"], a["offsets"], a["snapshot"], ws, vs, n
-    )
-    a["ok"][start:stop] = ok
-    append_accepted(a["arena"], a["offsets"], a["counts"], ws, vs, ok)
-    advance_parents(a["indptr"], a["indices"], a["lower"], a["cursor"], a["lp"], ws)
-
-
-def _run_slice_async(tid: int, a: dict[str, np.ndarray]) -> None:
-    """One worker's share of one asynchronous round (live-state sweep).
-
-    Unlike :func:`_run_slice` there is no barrier snapshot: subset tests
-    probe whatever prefix of each parent's chordal set is published at
-    probe time (:func:`~repro.core.kernels.subset_mask_live`), so the
-    accepted edge set depends on worker timing.  Safety rests on the
-    unique-writer discipline — this worker is the only mutator of its
-    children's ``counts`` / ``cursor`` / ``lp`` words, arena runs and
-    edge-claim words — plus the append-before-count-bump publication
-    order inside :func:`~repro.core.kernels.append_accepted`.
-    """
-    ctrl = a["control"]
-    n = int(ctrl[_CTRL_N])
-    cuts = a["cuts"]
-    start, stop = int(cuts[tid]), int(cuts[tid + 1])
-    if start >= stop:
-        return
-    ws = a["active"][start:stop]
-    vs = a["parents"][start:stop]
-    offsets = a["offsets"]
-    ok = subset_mask_live(a["arena"], offsets, a["counts"], ws, vs, n)
-    # Claim each (child, parent) arc exactly once: its edge-state word
-    # flips UNDECIDED -> ACCEPTED/REJECTED via compare-and-set.  A lost
-    # claim (word already decided) drops the arc, so a double-serviced
-    # vertex can never append or report an edge twice — the conflict-
-    # resolution rule the live sweep needs in place of the barrier.
-    arcs = offsets[ws] + a["cursor"][ws]
-    decisions = np.where(ok, EDGE_ACCEPTED, EDGE_REJECTED)
-    ok &= bulk_compare_and_set(a["edge_state"], arcs, EDGE_UNDECIDED, decisions)
-    a["ok"][start:stop] = ok
-    append_accepted(a["arena"], offsets, a["counts"], ws, vs, ok)
-    advance_parents(a["indptr"], a["indices"], a["lower"], a["cursor"], a["lp"], ws)
-
-
-def _worker_main(tid, shm_name, caps, num_workers, start_barrier, done_barrier) -> None:
-    """Worker loop: wait at the start barrier, remap if the coordinator
-    published a new layout generation, run a slice, join the done barrier;
-    repeat until the shutdown command (or the coordinator breaks the
-    barriers — a quiet exit, the coordinator already raised)."""
-    import threading
-
-    block = SharedArrayBlock.attach(shm_name, _build_spec(*caps, num_workers))
-    ctrl = block.arrays["control"]
-    # Workers only read/write shared state between the two barriers, while
-    # the coordinator waits — so the generation check below cannot race
-    # with a coordinator-side remap.
-    gen = -1
-    try:
-        while True:
-            start_barrier.wait()
-            if int(ctrl[_CTRL_CMD]) == _CMD_SHUTDOWN:
-                return
-            if int(ctrl[_CTRL_GEN]) != gen:
-                gen = int(ctrl[_CTRL_GEN])
-                block.remap(
-                    _build_spec(
-                        int(ctrl[_CTRL_N_CAP]),
-                        int(ctrl[_CTRL_NNZ_CAP]),
-                        int(ctrl[_CTRL_ARENA_CAP]),
-                        num_workers,
-                    )
-                )
-                ctrl = block.arrays["control"]
-            run = (
-                _run_slice_async
-                if int(ctrl[_CTRL_SCHEDULE]) == _SCHED_ASYNC
-                else _run_slice
-            )
-            try:
-                run(tid, block.arrays)
-            except BaseException:  # noqa: BLE001 - flag forwarded to coordinator
-                ctrl[_CTRL_ERROR] = tid + 1
-            # Publish liveness: the coordinator zeroed the epoch words
-            # before releasing the start barrier and asserts every worker
-            # reached this line (single aligned-word store per worker).
-            block.arrays["epochs"][tid] += 1
-            done_barrier.wait()
-    except threading.BrokenBarrierError:
-        return
-    finally:
-        block.close()
-
-
-def _context():
-    """Prefer fork (cheap, inherits nothing mutable we rely on); fall back
-    to the platform default (spawn) — the worker protocol supports both."""
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else None)
-
-
-def _barrier_agent(req, resp, start, done, timeout) -> None:
-    """Coordinator-side barrier waiter (one daemon thread per team).
-
-    ``multiprocessing`` barriers can block *unboundedly* — beyond any
-    ``wait(timeout)`` — when a participant is killed while holding the
-    barrier's internal condition state, so the coordinator's main thread
-    must never wait on them directly.  It enqueues ``"superstep"`` (start
-    + done barrier) or ``"shutdown"`` (start barrier only; workers exit
-    before the done barrier) requests here and waits on ``resp`` with a
-    real timeout; if this thread wedges, it is simply abandoned (daemon)
-    and the team torn down.  ``None`` retires the agent.
-    """
-    while True:
-        cmd = req.get()
-        if cmd is None:
-            return
-        try:
-            start.wait(timeout=timeout)
-            if cmd == "superstep":
-                done.wait(timeout=timeout)
-            resp.put(None)
-        except Exception as exc:  # BrokenBarrierError or timeout
-            resp.put(exc)
-            return
 
 
 class ProcessPool:
@@ -355,20 +137,20 @@ class ProcessPool:
         self.barrier_timeout = (
             self.BARRIER_TIMEOUT if barrier_timeout is None else barrier_timeout
         )
-        self.headroom = max(1.0, self.HEADROOM if headroom is None else headroom)
-        self._block: SharedArrayBlock | None = None
-        self._procs: list = []
+        self._state = SharedSegmentState(
+            num_workers, self.HEADROOM if headroom is None else headroom
+        )
+        self._executor: ProcessTeamExecutor | None = None
         self._closed = False
-        self._caps: tuple[int, int, int] = (0, 0, 0)
-        self._gen = 0
         self._bound: CSRGraph | None = None
-        self._n = 0
-        self._nnz = 0
-        self._arena_used = 0
-        self._max_degree = 0
         self._trivial_bound = True
         if graph is not None:
             self.bind(graph)
+
+    @property
+    def _procs(self) -> list:
+        """The live worker processes (tests poke these to kill workers)."""
+        return self._executor.procs if self._executor is not None else []
 
     # ------------------------------------------------------------------
     def bind(self, graph: CSRGraph) -> "ProcessPool":
@@ -384,107 +166,31 @@ class ProcessPool:
         offsets = arena_offsets(lower)
         cap = int(offsets[-1])
         n = g.num_vertices
+        nnz = int(g.indices.size)
         self._bound = graph
-        self._n = n
-        self._nnz = int(g.indices.size)
-        self._arena_used = cap
-        self._max_degree = g.max_degree()
         self._trivial_bound = n == 0 or cap == 0
         if self._trivial_bound:
             return self
-        self._ensure_capacity(n, self._nnz, cap)
-        a = self._block.arrays
-        a["indptr"][: n + 1] = g.indptr
-        a["indices"][: self._nnz] = g.indices
-        a["lower"][:n] = lower
-        a["offsets"][: n + 1] = offsets
-        a["control"][_CTRL_N] = n
-        return self
-
-    def _ensure_capacity(self, n: int, nnz: int, cap: int) -> None:
-        """Make the segment and team able to hold an (n, nnz, cap) graph."""
-        n_cap, nnz_cap, arena_cap = self._caps
-        if self._procs and n <= n_cap and nnz <= nnz_cap and cap <= arena_cap:
-            return
-        if self._block is None:
-            new_caps = (n, nnz, cap)
-        else:
-            # Geometric growth so a batch of increasing graphs pays
-            # O(log) reallocations, not one per graph; caps never shrink
-            # (high-water mark), so alternating graph shapes settle into
-            # the zero-churn fast path instead of remapping every bind.
-            new_caps = (
-                n_cap if n <= n_cap else max(n, 2 * n_cap),
-                nnz_cap if nnz <= nnz_cap else max(nnz, 2 * nnz_cap),
-                arena_cap if cap <= arena_cap else max(cap, 2 * arena_cap),
-            )
-        spec = _build_spec(*new_caps, self.num_workers)
-        if self._block is not None and self._procs and self._block.fits(spec):
-            # In-place growth: same segment, new layout; workers remap at
-            # the next superstep when they observe the bumped generation.
-            self._block.remap(spec)
-        else:
-            self._teardown()
-            self._block = SharedArrayBlock.create(
-                spec, size=int(layout_size(spec) * self.headroom)
-            )
-        self._caps = new_caps
-        self._gen += 1
-        ctrl = self._block.arrays["control"]
-        ctrl[_CTRL_GEN] = self._gen
-        ctrl[_CTRL_N_CAP] = new_caps[0]
-        ctrl[_CTRL_NNZ_CAP] = new_caps[1]
-        ctrl[_CTRL_ARENA_CAP] = new_caps[2]
-        if not self._procs:
-            self._start_team()
-
-    def _start_team(self) -> None:
-        import queue
-        import threading
-
-        ctx = _context()
-        self._start = ctx.Barrier(self.num_workers + 1)
-        self._done = ctx.Barrier(self.num_workers + 1)
-        # The coordinator never touches the barriers directly: a worker
-        # killed mid-wait (OOM killer, external SIGKILL) can leave the
-        # barrier's internal condition state permanently unreleasable, and
-        # Barrier.wait(timeout) does not bound that lock/drain phase.  A
-        # per-team agent thread does the waiting instead; the coordinator
-        # waits on the response queue with a real timeout and sacrifices
-        # the (daemon) agent if the barrier state is wedged.
-        self._agent_req: queue.Queue = queue.Queue()
-        self._agent_resp: queue.Queue = queue.Queue()
-        self._agent = threading.Thread(
-            target=_barrier_agent,
-            args=(
-                self._agent_req,
-                self._agent_resp,
-                self._start,
-                self._done,
+        if self._executor is None or not self._state.fits(n, nnz, cap):
+            new_caps = self._state.plan_growth(n, nnz, cap)
+            if self._executor is not None and self._state.can_remap(new_caps):
+                # In-place growth: the team survives; workers remap at the
+                # next superstep when they observe the bumped generation.
+                self._state.remap(new_caps)
+            else:
+                # The segment itself is too small: shut the team down on
+                # the old segment, then reallocate and restart below.
+                self._stop_team()
+                self._state.reallocate(new_caps)
+        if self._executor is None:
+            self._executor = ProcessTeamExecutor(
+                self.num_workers,
+                self._state.block.name,
+                self._state.caps,
                 self.barrier_timeout,
-            ),
-            daemon=True,
-            name="repro-procpool-barrier-agent",
-        )
-        self._agent.start()
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    tid,
-                    self._block.name,
-                    self._caps,
-                    self.num_workers,
-                    self._start,
-                    self._done,
-                ),
-                daemon=True,
-                name=f"repro-procworker-{tid}",
             )
-            for tid in range(self.num_workers)
-        ]
-        for p in self._procs:
-            p.start()
+        self._state.bind_graph(g, lower, offsets)
+        return self
 
     # ------------------------------------------------------------------
     def extract(
@@ -525,150 +231,39 @@ class ProcessPool:
             )
         if self._trivial_bound:
             return np.empty((0, 2), dtype=np.int64), []
-        is_async = schedule == "asynchronous"
-        a = self._block.arrays
-        ctrl = a["control"]
-        n = self._n
-        a["counts"][:n] = 0
-        a["cursor"][:n] = 0
-        a["lp"][:n] = initial_parents(
-            a["indptr"][: n + 1], a["indices"][: self._nnz], a["lower"][:n]
-        )
-        if is_async:
-            a["edge_state"][: self._arena_used] = EDGE_UNDECIDED
-        ctrl[_CTRL_SCHEDULE] = _SCHED_ASYNC if is_async else _SCHED_SYNC
-
-        queue_sizes: list[int] = []
-        chunks: list[tuple[np.ndarray, np.ndarray]] = []
-        limit = max_iterations if max_iterations is not None else self._max_degree + 2
-
-        while True:
-            active = np.flatnonzero(a["lp"][:n] >= 0)
-            na = active.size
-            if na == 0:
-                break
-            if len(queue_sizes) >= limit:
-                raise ConvergenceError(
-                    f"exceeded iteration budget {limit} with {na} active "
-                    "vertices; this indicates an internal bug"
-                )
-            parents = a["lp"][:n][active]
-            queue_sizes.append(int(np.unique(parents).size))
-            a["active"][:na] = active
-            a["parents"][:na] = parents
-            if is_async:
-                # No snapshot, no key compression: workers probe the live
-                # arena.  Balance by the current chordal-set sizes.
-                nkeys = 0
-                weights = a["counts"][:n][active].astype(np.float64) + 1.0
-            else:
-                a["snapshot"][:n] = a["counts"][:n]
-                nkeys = build_arena_keys(
-                    a["arena"], a["offsets"], a["snapshot"][:n], n, out=a["keys"]
-                ).size
-                # Balance slices by subset-test cost (|C[w]| probes + constant).
-                weights = a["snapshot"][:n][active].astype(np.float64) + 1.0
-            ranges = balanced_chunks(weights, self.num_workers)
-            a["cuts"][: self.num_workers] = [r[0] for r in ranges]
-            a["cuts"][self.num_workers] = ranges[-1][1]
-            a["epochs"][: self.num_workers] = 0
-            ctrl[_CTRL_CMD] = _CMD_RUN
-            ctrl[_CTRL_NKEYS] = nkeys
-            ctrl[_CTRL_ERROR] = 0
-            self._superstep_barrier()
-            if int(ctrl[_CTRL_ERROR]) != 0:
-                raise RuntimeError(
-                    f"worker {int(ctrl[_CTRL_ERROR]) - 1} failed during a superstep"
-                )
-            lagging = np.flatnonzero(a["epochs"][: self.num_workers] != 1)
-            if lagging.size:  # pragma: no cover - structural invariant
-                raise RuntimeError(
-                    f"workers {lagging.tolist()} missed a round (epoch "
-                    "counter not bumped); the shared segment is inconsistent"
-                )
-            accepted = a["ok"][:na].astype(bool)
-            chunks.append((parents[accepted], active[accepted]))
-
-        edges = assemble_edges(chunks)
-        if is_async:
-            # Claim accounting: every reported edge corresponds to exactly
-            # one won ACCEPTED claim and one arena append.  A mismatch
-            # means the lock-free discipline was violated somewhere.
-            claimed = int(
-                np.count_nonzero(
-                    a["edge_state"][: self._arena_used] == EDGE_ACCEPTED
-                )
+        try:
+            edges, queue_sizes, _ = drive(
+                self._state,
+                self._executor,
+                schedule=schedule,
+                max_iterations=max_iterations,
             )
-            appended = int(a["counts"][:n].sum())
-            if not (claimed == appended == edges.shape[0]):
-                raise RuntimeError(
-                    "asynchronous claim accounting diverged: "
-                    f"{claimed} accepted claims, {appended} arena appends, "
-                    f"{edges.shape[0]} reported edges"
-                )
+        except WorkerTeamError:
+            # The team is unusable (dead worker / wedged barrier); release
+            # the segment so the failure cannot leak shared memory.
+            self.close()
+            raise
         return edges, queue_sizes
 
-    def _superstep_barrier(self) -> None:
-        import queue
-
-        self._agent_req.put("superstep")
-        try:
-            # The agent's two waits are bounded by barrier_timeout each;
-            # the slack covers queue latency.  Hitting Empty means the
-            # barrier state itself is wedged (worker died holding it).
-            failure = self._agent_resp.get(timeout=2 * self.barrier_timeout + 5.0)
-        except queue.Empty:
-            failure = RuntimeError(
-                "superstep barrier deadlocked (a worker likely died while "
-                "holding barrier state)"
-            )
-        if failure is not None:
-            dead = [p.name for p in self._procs if not p.is_alive()]
-            self.close()
-            raise RuntimeError(
-                f"process-engine superstep barrier failed ({failure!r}); "
-                f"dead workers: {dead or 'none'}"
-            ) from failure
-
     # ------------------------------------------------------------------
+    def _stop_team(self) -> None:
+        if self._executor is not None:
+            ctrl = (
+                self._state.arrays["control"]
+                if self._state.block is not None
+                else None
+            )
+            self._executor.close(ctrl)
+            self._executor = None
+
     def _teardown(self) -> None:
         """Stop the current team (if any) and release the segment.
 
-        Robust to partially-constructed pools: never-started workers are
-        skipped, and the segment is released even when joins misbehave.
-        The pool stays usable — a later bind starts a fresh team.
+        Robust to partially-constructed pools; the pool stays usable — a
+        later bind starts a fresh team.
         """
-        if self._block is None:
-            return
-        if self._procs:
-            try:
-                # Ask for a clean exit only while the whole team is alive:
-                # a worker killed mid-wait (e.g. daemon reaping at
-                # interpreter shutdown) leaves the barrier unreleasable,
-                # so dead or part-dead teams are reaped below instead.
-                # The barrier poke goes through the agent thread (see
-                # _barrier_agent) and is abandoned on timeout.
-                if all(p.pid is not None and p.is_alive() for p in self._procs):
-                    self._block.arrays["control"][_CTRL_CMD] = _CMD_SHUTDOWN
-                    self._agent_req.put("shutdown")
-                    self._agent_resp.get(timeout=10.0)
-            except Exception:  # queue.Empty, or workers died under us; reap below
-                pass
-            self._agent_req.put(None)  # retire an idle agent (stuck one is daemon)
-            for p in self._procs:
-                try:
-                    if p.pid is None:  # Process.start() never ran
-                        continue
-                    p.join(timeout=5.0)
-                    if p.is_alive():  # pragma: no cover - hard-kill safety net
-                        p.terminate()
-                        p.join(timeout=5.0)
-                except Exception:  # pragma: no cover - reaping is best-effort
-                    pass
-            self._procs = []
-        self._block.close()
-        self._block.unlink()
-        self._block = None
+        self._stop_team()
+        self._state.release()
 
     def close(self) -> None:
         """Shut the team down and release the shared segment (idempotent)."""
@@ -676,10 +271,7 @@ class ProcessPool:
             return
         self._closed = True
         self._bound = None
-        try:
-            self._teardown()
-        finally:
-            self._block = None
+        self._teardown()
 
     def __enter__(self) -> "ProcessPool":
         return self

@@ -1,23 +1,12 @@
-"""Shared state of Algorithm 1: lowest parents, chordal-neighbor arena.
+"""Parent-advance strategies of Algorithm 1 (the paper's Opt/Unopt pair).
 
-Data layout (paper's "Data structures" box, adapted to 0-based ids):
-
-* ``lp[w]``        — current lowest parent of ``w`` (``-1`` = none; paper
-  uses 0 with 1-based ids).
-* ``cursor[w]``    — how many parents of ``w`` have been consumed; with
-  sorted adjacency the parents of ``w`` are exactly the prefix of its
-  adjacency slice below ``w``, so the cursor indexes that prefix directly.
-* chordal sets ``C[w]`` — flat arena with per-vertex capacity equal to the
-  number of lower neighbors (every chordal neighbor of ``w`` is a former
-  lowest parent, hence a lower neighbor).  Parents are consumed in
-  increasing id order, so each ``C[w]`` is *automatically sorted* — the
-  property the paper exploits to make the subset test linear ("we exploit
-  the fact that the chordal edge set of a vertex automatically gets built
-  in an orderly manner").  Python ``set`` mirrors give O(|small|) subset
-  tests; the sorted arena supplies the prefix bound that makes the test
-  race-free under snapshot semantics.
-
-Parent-advance strategies:
+The algorithm's *data* — lowest parents, cursors, the flat chordal-set
+arena — lives in the canonical array schema of
+:mod:`repro.core.runtime.layout` (one layout for local arrays and
+shared-memory segments alike; the historical ``ChordalState`` object was
+absorbed into :class:`repro.core.runtime.state.LocalState` when the
+engines were unified over one schedule driver).  What remains here is the
+paper's cost model for *finding the next parent*:
 
 * :class:`SortedParentStrategy` — the paper's **optimized** variant.
   Requires sorted adjacency; next parent is a cursor bump, O(1).
@@ -26,7 +15,11 @@ Parent-advance strategies:
   neighbor greater than the current parent and below ``w``: O(deg(w)).
 
 Both strategies visit the same parents in the same (increasing) order, so
-the chordal edge set is independent of the strategy — only cost differs.
+the chordal edge set is independent of the strategy — only cost differs,
+which is exactly what the work traces charge
+(:func:`repro.core.runtime.driver.drive` charges 1 op per Opt advance and
+``deg(w)`` per Unopt advance, matching :meth:`parent_at`'s reported
+costs).
 """
 
 from __future__ import annotations
@@ -38,7 +31,6 @@ from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 
 __all__ = [
-    "ChordalState",
     "SortedParentStrategy",
     "UnsortedParentStrategy",
     "make_strategy",
@@ -77,7 +69,7 @@ class UnsortedParentStrategy:
 
     Stateful: tracks the last consumed parent per vertex as the scan lower
     bound.  ``parent_at`` must therefore be called exactly once per
-    (vertex, cursor) step — the engines guarantee this.
+    (vertex, cursor) step.
     """
 
     name = "unoptimized"
@@ -91,7 +83,7 @@ class UnsortedParentStrategy:
         """Scan for the smallest neighbor in (prev_parent, w); cost = deg(w).
 
         The scan itself is vectorised (NumPy mask + min) so high-degree
-        vertices don't stall the Python engine; the *charged* cost is the
+        vertices don't stall a Python caller; the *charged* cost is the
         full adjacency length, which is what the paper's unoptimized
         implementation pays.
         """
@@ -136,116 +128,3 @@ def make_strategy(graph: CSRGraph, variant: str):
     if variant == "unoptimized":
         return UnsortedParentStrategy(graph)
     raise ConfigError(f"unknown variant {variant!r}; expected 'optimized' or 'unoptimized'")
-
-
-class ChordalState:
-    """Mutable per-run state shared by the serial and threaded engines.
-
-    Thread-safety contract (what makes the lock-free threaded engine
-    correct, DESIGN.md §5): per iteration, each vertex ``w`` has exactly
-    one current LP, so ``counts[w]``, ``cursor[w]``, ``lp[w]`` and the
-    arena slice of ``w`` each have a *unique writer*.  Readers of another
-    vertex's chordal set always bound their view by the barrier-time
-    prefix length, so concurrent appends are invisible to them.
-    """
-
-    __slots__ = (
-        "n",
-        "lp",
-        "cursor",
-        "offsets",
-        "arena",
-        "counts",
-        "strategy",
-        "sets",
-        "edges_u",
-        "edges_v",
-    )
-
-    def __init__(self, strategy) -> None:
-        graph = strategy.graph
-        n = graph.num_vertices
-        self.n = n
-        self.strategy = strategy
-        lower = strategy.lower_count
-        self.offsets = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(lower, out=self.offsets[1:])
-        self.arena = np.full(int(self.offsets[-1]), -1, dtype=np.int64)
-        self.counts = np.zeros(n, dtype=np.int64)
-        self.cursor = np.zeros(n, dtype=np.int64)
-        self.sets: list[set[int]] = [set() for _ in range(n)]
-        self.edges_u: list[int] = []
-        self.edges_v: list[int] = []
-        # Initialisation (Algorithm 1 lines 4-10): every vertex with at
-        # least one lower neighbor points at its lowest parent.
-        self.lp = strategy.initial_parents()
-
-    # ------------------------------------------------------------------
-    def chordal_set(self, v: int) -> np.ndarray:
-        """Current chordal-neighbor set C[v] (sorted, live view)."""
-        off = self.offsets[v]
-        return self.arena[off:off + self.counts[v]]
-
-    def subset_test(self, w: int, v: int, prefix_len: int) -> tuple[bool, int]:
-        """Line 15: is ``C[w]`` a subset of the barrier-time prefix of ``C[v]``?
-
-        Returns ``(result, abstract cost)`` where cost is
-        ``min(|C[w]|, prefix) + 1`` — the paper's "linear in the size of the
-        smallest set".
-
-        Race-freedom: membership is probed against the *live* set of ``v``
-        but bounded by ``arena[off_v + prefix_len - 1]``; any element
-        appended to ``C[v]`` after the barrier is strictly larger than that
-        bound (parents arrive in increasing order), so it can never flip
-        the outcome.
-        """
-        cw_len = int(self.counts[w])
-        cost = min(cw_len, prefix_len) + 1
-        if cw_len > prefix_len:
-            return False, 1
-        if cw_len == 0:
-            return True, 1
-        off_w = self.offsets[w]
-        cw_view = self.arena[off_w:off_w + cw_len]
-        bound = self.arena[self.offsets[v] + prefix_len - 1]
-        if cw_view[cw_len - 1] > bound:
-            return False, cost
-        if not self.sets[v].issuperset(cw_view.tolist()):
-            return False, cost
-        return True, cost
-
-    def append_chordal(self, w: int, v: int) -> None:
-        """C[w] <- C[w] ∪ {v} (line 16).  EC bookkeeping is separate so the
-        threaded engine can keep per-thread edge lists."""
-        off = self.offsets[w] + self.counts[w]
-        self.arena[off] = v
-        self.sets[w].add(v)
-        self.counts[w] += 1
-
-    def record_edge(self, v: int, w: int) -> None:
-        """EC <- EC ∪ {(v, w)} (line 17) into the shared edge list."""
-        self.edges_u.append(v)
-        self.edges_v.append(w)
-
-    def advance(self, w: int) -> int:
-        """Move ``w`` to its next lowest parent (lines 18-20).
-
-        Returns the advance cost in abstract ops (1 for Opt, deg(w) for
-        Unopt) for the work trace.
-        """
-        self.cursor[w] += 1
-        parent, cost = self.strategy.parent_at(w, int(self.cursor[w]))
-        self.lp[w] = parent
-        return cost
-
-    def active_vertices(self) -> np.ndarray:
-        """Vertices that still have a lowest parent to compare against."""
-        return np.flatnonzero(self.lp >= 0)
-
-    def edge_array(self) -> np.ndarray:
-        """The chordal edge set EC as a ``(k, 2)`` array of (parent, child)."""
-        if not self.edges_u:
-            return np.empty((0, 2), dtype=np.int64)
-        return np.column_stack(
-            (np.asarray(self.edges_u, dtype=np.int64), np.asarray(self.edges_v, dtype=np.int64))
-        )

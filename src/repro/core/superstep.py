@@ -1,42 +1,39 @@
 """Serial array-based engine for Algorithm 1 (both schedules).
 
-This is the production implementation of the paper's algorithm and the one
-the instrumented experiments run (the work trace it emits is hardware
-independent).  It supports the two deterministic serialisations described
-in :mod:`repro.core.reference`:
+This is the production single-process implementation of the paper's
+algorithm and the one the instrumented experiments run (the work trace it
+emits is hardware independent).  Since the unified-runtime refactor it is
+the thinnest possible pairing of the shared schedule driver with local
+backends:
 
-* ``"asynchronous"`` (default, paper-matching) — ascending sweep of Q1
-  with live state.  Implemented with a *children map* (``children[v]`` =
-  vertices whose current LP is ``v``) instead of the paper's adjacency
-  rescan, which is semantically identical (each vertex sits in exactly the
-  list of its current LP) but costs O(pairs) instead of O(sum deg(Q1)) per
-  iteration in Python.  The work trace still charges the adjacency-scan
-  cost the paper's implementation pays.
+    drive(LocalState(graph), SerialExecutor(), schedule=...)
+
+Both deterministic serialisations described in
+:mod:`repro.core.reference` are supported:
+
+* ``"asynchronous"`` (default, paper-matching) — ascending maximal-
+  progress sweep of Q1 with live state (the driver's children-map sweep,
+  semantically identical to the paper's adjacency rescan but O(pairs)
+  per iteration).  Reproduces the paper's headline iteration counts.
 
 * ``"synchronous"`` — barrier semantics, one parent consumed per active
-  vertex per superstep.  When no work trace is requested this schedule
-  runs on the bulk NumPy kernels of :mod:`repro.core.kernels` (identical
-  edges and queue sizes, several times faster); the historical pair loop
-  remains behind ``use_kernels=False`` and is the engine the traces are
-  collected from.
+  vertex per superstep, executed through the bulk NumPy kernels of
+  :mod:`repro.core.kernels`.  Bit-identical across every engine and
+  worker count.
 
-Cost structure per iteration matches the paper exactly:
-
-* every LP vertex in Q1 is charged its adjacency scan (``for all w in
-  adj[v]``);
-* every served child costs one subset test (= min set size, thanks to the
-  ordered chordal sets) plus a parent advance (O(1) optimized / O(deg)
-  unoptimized) plus constant queue ops.
+Cost structure per iteration matches the paper exactly (the driver
+charges each LP vertex its adjacency scan and each served child one
+subset test + parent advance + queue ops); see
+:func:`repro.core.runtime.driver.drive`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.instrument import CostModelParams, TraceBuilder, WorkTrace
-from repro.core.kernels import vectorized_sync_max_chordal
-from repro.core.state import ChordalState, make_strategy
-from repro.errors import ConfigError, ConvergenceError
+from repro.core.instrument import CostModelParams, WorkTrace
+from repro.core.runtime import LocalState, SerialExecutor, drive
+from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["superstep_max_chordal"]
@@ -60,7 +57,9 @@ def superstep_max_chordal(
         Input graph.
     variant:
         ``"optimized"`` (sorted adjacency, O(1) parent advance) or
-        ``"unoptimized"`` (unsorted scan) — the paper's Opt/Unopt pair.
+        ``"unoptimized"`` (O(deg) advance) — the paper's Opt/Unopt pair.
+        Both visit the same parents in the same order, so the edge set is
+        identical; only trace costs differ.
     schedule:
         ``"asynchronous"`` (paper-matching, default) or ``"synchronous"``.
     collect_trace:
@@ -71,13 +70,12 @@ def superstep_max_chordal(
     max_iterations:
         Safety bound, default ``max_degree + 2``.
     use_kernels:
-        Synchronous schedule only: run each superstep through the bulk
-        NumPy kernels of :mod:`repro.core.kernels` instead of the Python
-        pair loop.  ``None`` (default) auto-selects the kernels whenever no
-        trace is requested (they produce identical edges and queue sizes,
-        just much faster); ``False`` forces the historical loop engine
-        (the benchmark baseline); ``True`` is incompatible with
-        ``collect_trace`` (the kernels do no per-pair cost accounting).
+        Deprecated no-op: the unified runtime always executes synchronous
+        supersteps through the bulk kernels (the historical Python pair
+        loop was deleted with the runtime refactor; traces are now
+        reconstructed driver-side from the same rounds).  The historical
+        error contract is kept: ``True`` is rejected together with
+        ``collect_trace`` or the asynchronous schedule.
 
     Returns
     -------
@@ -93,133 +91,12 @@ def superstep_max_chordal(
             "use_kernels=True requires schedule='synchronous'; the "
             "asynchronous sweep has no bulk-kernel form"
         )
-    if schedule == "asynchronous":
-        return _run_async(
-            graph, variant, collect_trace, cost_params, max_iterations
-        )
-    if schedule == "synchronous":
-        if use_kernels or (use_kernels is None and not collect_trace):
-            edges, queue_sizes = vectorized_sync_max_chordal(
-                graph, variant=variant, max_iterations=max_iterations
-            )
-            return edges, queue_sizes, None
-        return _run_sync(
-            graph, variant, collect_trace, cost_params, max_iterations
-        )
-    raise ConfigError(
-        f"schedule must be 'asynchronous' or 'synchronous', got {schedule!r}"
+    return drive(
+        LocalState(graph),
+        SerialExecutor(),
+        schedule=schedule,
+        variant=variant,
+        collect_trace=collect_trace,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
     )
-
-
-def _run_async(
-    graph: CSRGraph,
-    variant: str,
-    collect_trace: bool,
-    cost_params: CostModelParams | None,
-    max_iterations: int | None,
-) -> tuple[np.ndarray, list[int], WorkTrace | None]:
-    strategy = make_strategy(graph, variant)
-    state = ChordalState(strategy)
-    n = graph.num_vertices
-    builder = TraceBuilder(variant, n, graph.num_edges, cost_params, enabled=collect_trace)
-    degrees = strategy.graph.degrees()
-
-    # children[v] = vertices whose current lowest parent is v.
-    children: list[list[int]] = [[] for _ in range(n)]
-    q1: set[int] = set()
-    lp = state.lp
-    for w in range(n):
-        v = int(lp[w])
-        if v >= 0:
-            children[v].append(w)
-            q1.add(v)
-
-    counts = state.counts
-    queue_sizes: list[int] = []
-    limit = max_iterations if max_iterations is not None else graph.max_degree() + 2
-
-    while q1:
-        queue_sizes.append(len(q1))
-        if len(queue_sizes) > limit:
-            raise ConvergenceError(
-                f"exceeded iteration budget {limit} (queue={len(q1)}); "
-                "this indicates an internal bug"
-            )
-        q2: set[int] = set()
-        for v in sorted(q1):
-            if collect_trace:
-                builder.scan(v, int(degrees[v]))
-            kids = children[v]
-            # Live prefix: C[v] cannot change during v's own turn (all of
-            # v's same-iteration gains happen at its parents' earlier
-            # turns), so reading counts[v] once here is exact.
-            for w in kids:
-                ok, test_cost = state.subset_test(w, v, int(counts[v]))
-                if ok:
-                    state.append_chordal(w, v)
-                    state.record_edge(v, w)
-                adv_cost = state.advance(w)
-                x = int(lp[w])
-                if x >= 0:
-                    children[x].append(w)
-                    q2.add(x)
-                if collect_trace:
-                    builder.service(v, w, test_cost, adv_cost, ok)
-            children[v] = []
-        if collect_trace:
-            builder.flush()
-        q1 = q2
-
-    trace = builder.trace if collect_trace else None
-    return state.edge_array(), queue_sizes, trace
-
-
-def _run_sync(
-    graph: CSRGraph,
-    variant: str,
-    collect_trace: bool,
-    cost_params: CostModelParams | None,
-    max_iterations: int | None,
-) -> tuple[np.ndarray, list[int], WorkTrace | None]:
-    strategy = make_strategy(graph, variant)
-    state = ChordalState(strategy)
-    n = graph.num_vertices
-    builder = TraceBuilder(variant, n, graph.num_edges, cost_params, enabled=collect_trace)
-    degrees = strategy.graph.degrees()
-
-    queue_sizes: list[int] = []
-    limit = max_iterations if max_iterations is not None else graph.max_degree() + 2
-
-    while True:
-        active = state.active_vertices()
-        if active.size == 0:
-            break
-        if len(queue_sizes) >= limit:
-            raise ConvergenceError(
-                f"exceeded iteration budget {limit} with {active.size} active "
-                "vertices; this indicates an internal bug"
-            )
-        # Barrier: freeze this iteration's parent assignments and chordal-
-        # set prefix lengths.  Q1 is the set of distinct current LPs.
-        parents = state.lp[active].copy()
-        q1 = np.unique(parents)
-        queue_sizes.append(int(q1.size))
-        snapshot = state.counts.copy()
-
-        if collect_trace:
-            for v in q1.tolist():
-                builder.scan(v, int(degrees[v]))
-
-        for w, v in zip(active.tolist(), parents.tolist()):
-            ok, test_cost = state.subset_test(w, v, int(snapshot[v]))
-            if ok:
-                state.append_chordal(w, v)
-                state.record_edge(v, w)
-            adv_cost = state.advance(w)
-            if collect_trace:
-                builder.service(v, w, test_cost, adv_cost, ok)
-        if collect_trace:
-            builder.flush()
-
-    trace = builder.trace if collect_trace else None
-    return state.edge_array(), queue_sizes, trace

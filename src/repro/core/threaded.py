@@ -3,9 +3,13 @@
 Faithful to the paper's execution shape: per outer iteration, the queue Q1
 is partitioned across a persistent thread team, every thread serves the
 children of its queue vertices, and an implicit barrier (the team join)
-separates iterations.
+separates iterations.  Since the unified-runtime refactor this module is
+a thin pairing of the shared schedule driver with local state and a
+thread-team executor:
 
-Two schedules, mirroring :mod:`repro.core.superstep`:
+    drive(LocalState(graph, num_threads), ThreadTeamExecutor(num_threads))
+
+Two schedules, with the same semantics as :mod:`repro.core.superstep`:
 
 * ``"asynchronous"`` (default, paper-matching) — threads sweep their Q1
   partition in ascending order over *live* shared state.  A vertex whose
@@ -16,16 +20,18 @@ Two schedules, mirroring :mod:`repro.core.superstep`:
   but the edge set and iteration count may vary run to run, exactly like
   the real platform.
 
-* ``"synchronous"`` — barrier-snapshot semantics; bit-identical to the
-  serial synchronous engine regardless of thread count or timing.
+* ``"synchronous"`` — barrier-snapshot semantics over the bulk kernels;
+  bit-identical to the serial synchronous engine regardless of thread
+  count or timing (and its driver-reconstructed work trace is identical
+  to the serial engine's).
 
-Correctness relies on the unique-writer discipline documented in
-:mod:`repro.core.state`: at any instant each vertex ``w`` has one current
-LP, and only the thread serving that LP touches ``counts[w]``,
-``cursor[w]``, ``lp[w]`` and ``w``'s arena slice; the LP hand-off is
-sequenced by the CPython GIL (and would be a release/acquire pair in a
-native port).  Chordal edges accumulate in per-thread lists merged after
-the run, so no shared append ordering is needed.
+Correctness relies on the unique-writer discipline: at any instant each
+vertex ``w`` has one current LP, and only the thread serving that LP
+touches ``counts[w]``, ``cursor[w]``, ``lp[w]`` and ``w``'s arena slice;
+the LP hand-off is sequenced by the CPython GIL (and would be a
+release/acquire pair in a native port).  Chordal edges accumulate in
+per-thread lists merged after the run, so no shared append ordering is
+needed.
 
 On CPython the GIL serialises bytecode, so this engine demonstrates and
 *tests* the concurrency structure rather than producing speedup; the
@@ -37,11 +43,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.state import ChordalState, make_strategy
-from repro.errors import ConfigError, ConvergenceError
+from repro.core.runtime import LocalState, ThreadTeamExecutor, drive
+from repro.errors import ConfigError
 from repro.graph.csr import CSRGraph
-from repro.parallel.partition import balanced_chunks
-from repro.parallel.runtime import ThreadTeam
 
 __all__ = ["threaded_max_chordal"]
 
@@ -59,151 +63,18 @@ def threaded_max_chordal(
     Returns ``(edges, queue_sizes)``.  With ``schedule="synchronous"`` the
     edge set equals the serial synchronous engine's bit-for-bit; with
     ``"asynchronous"`` it is a valid maximal chordal edge set that may
-    differ across runs (as on the paper's hardware).
+    differ across runs (as on the paper's hardware).  Work traces are
+    available through the session API (``collect_trace=True`` with
+    ``engine="threaded"``), which calls the runtime driver directly.
     """
     if num_threads < 1:
         raise ConfigError(f"num_threads must be >= 1, got {num_threads}")
-    if schedule == "asynchronous":
-        return _run_async(graph, num_threads, variant, max_iterations)
-    if schedule == "synchronous":
-        return _run_sync(graph, num_threads, variant, max_iterations)
-    raise ConfigError(
-        f"schedule must be 'asynchronous' or 'synchronous', got {schedule!r}"
-    )
-
-
-def _run_async(
-    graph: CSRGraph,
-    num_threads: int,
-    variant: str,
-    max_iterations: int | None,
-) -> tuple[np.ndarray, list[int]]:
-    strategy = make_strategy(graph, variant)
-    state = ChordalState(strategy)
-    n = graph.num_vertices
-    degrees = strategy.graph.degrees()
-    lp = state.lp
-    counts = state.counts
-
-    children: list[list[int]] = [[] for _ in range(n)]
-    q1: list[int] = []
-    for w in range(n):
-        v = int(lp[w])
-        if v >= 0:
-            children[v].append(w)
-    q1 = sorted({int(lp[w]) for w in range(n) if lp[w] >= 0})
-
-    queue_sizes: list[int] = []
-    limit = max_iterations if max_iterations is not None else graph.max_degree() + 2
-    local_edges: list[list[tuple[int, int]]] = [[] for _ in range(num_threads)]
-    next_q_parts: list[set[int]] = [set() for _ in range(num_threads)]
-
-    with ThreadTeam(num_threads) as team:
-        while q1:
-            queue_sizes.append(len(q1))
-            if len(queue_sizes) > limit:
-                raise ConvergenceError(
-                    f"exceeded iteration budget {limit} (queue={len(q1)}); "
-                    "this indicates an internal bug"
-                )
-            # Partition Q1 contiguously, weighted by expected service cost
-            # (child count proxied by degree).
-            weights = np.asarray([degrees[v] + 1 for v in q1], dtype=np.float64)
-            chunk_of = balanced_chunks(weights, num_threads)
-            q1_list = q1
-
-            def task(tid: int) -> None:
-                start, stop = chunk_of[tid]
-                out = local_edges[tid]
-                q2 = next_q_parts[tid]
-                for qi in range(start, stop):
-                    v = q1_list[qi]
-                    kids = children[v]
-                    i = 0
-                    # len(kids) re-read each step: other threads may append
-                    # while we sweep (a child arriving at v mid-turn).
-                    while i < len(kids):
-                        w = kids[i]
-                        i += 1
-                        if int(lp[w]) != v:
-                            continue  # stale entry (served twice elsewhere)
-                        ok, _cost = state.subset_test(w, v, int(counts[v]))
-                        if ok:
-                            state.append_chordal(w, v)
-                            out.append((v, w))
-                        state.advance(w)
-                        x = int(lp[w])
-                        if x >= 0:
-                            children[x].append(w)
-                            q2.add(x)
-                    # NOTE: children[v] is deliberately *not* cleared —
-                    # another thread may append a late child after this
-                    # sweep ends; the entry survives for the next iteration
-                    # (v re-enters the queue via that thread's Q2) and
-                    # already-served entries are skipped by the LP check.
-
-            team.run(task)
-            merged: set[int] = set()
-            for part in next_q_parts:
-                merged |= part
-                part.clear()
-            q1 = sorted(merged)
-
-    for out in local_edges:
-        for v, w in out:
-            state.record_edge(v, w)
-    return state.edge_array(), queue_sizes
-
-
-def _run_sync(
-    graph: CSRGraph,
-    num_threads: int,
-    variant: str,
-    max_iterations: int | None,
-) -> tuple[np.ndarray, list[int]]:
-    strategy = make_strategy(graph, variant)
-    state = ChordalState(strategy)
-    degrees = strategy.graph.degrees()
-
-    queue_sizes: list[int] = []
-    limit = max_iterations if max_iterations is not None else graph.max_degree() + 2
-    local_edges: list[list[tuple[int, int]]] = [[] for _ in range(num_threads)]
-
-    with ThreadTeam(num_threads) as team:
-        while True:
-            active = state.active_vertices()
-            if active.size == 0:
-                break
-            if len(queue_sizes) >= limit:
-                raise ConvergenceError(
-                    f"exceeded iteration budget {limit} with {active.size} "
-                    "active vertices; this indicates an internal bug"
-                )
-            parents = state.lp[active].copy()
-            queue_sizes.append(int(np.unique(parents).size))
-            snapshot = state.counts.copy()
-            # Weight slices by child degree: the Unopt advance is O(deg(w))
-            # and subset tests grow with set sizes which correlate with deg.
-            chunk_of = balanced_chunks(degrees[active].astype(np.float64) + 1.0, num_threads)
-            active_list = active.tolist()
-            parent_list = parents.tolist()
-
-            def task(tid: int) -> None:
-                start, stop = chunk_of[tid]
-                out = local_edges[tid]
-                for i in range(start, stop):
-                    w = active_list[i]
-                    v = parent_list[i]
-                    ok, _cost = state.subset_test(w, v, int(snapshot[v]))
-                    if ok:
-                        state.append_chordal(w, v)
-                        out.append((v, w))
-                    state.advance(w)
-
-            team.run(task)
-
-    # Merge per-thread edge lists deterministically (thread id order).
-    for out in local_edges:
-        for v, w in out:
-            state.record_edge(v, w)
-    return state.edge_array(), queue_sizes
+    with ThreadTeamExecutor(num_threads) as executor:
+        edges, queue_sizes, _ = drive(
+            LocalState(graph, num_threads),
+            executor,
+            schedule=schedule,
+            variant=variant,
+            max_iterations=max_iterations,
+        )
+    return edges, queue_sizes

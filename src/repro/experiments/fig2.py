@@ -50,7 +50,8 @@ def run(
         rows=peaks,
         series=series,
         notes=[
-            "paper panels: RMAT-ER-10 (<0.06), RMAT-B-10 (<0.2), GSE5140-UNT (up to ~0.7, decaying with degree)",
+            "paper panels: RMAT-ER-10 (<0.06), RMAT-B-10 (<0.2), "
+            "GSE5140-UNT (up to ~0.7, decaying with degree)",
             f"bio replica at fraction {bio_fraction:g} of GSE5140(UNT)",
         ],
     )

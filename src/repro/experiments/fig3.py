@@ -40,7 +40,11 @@ def run(
     for spec in specs:
         graph = build_graph_cached(spec)
         hist = shortest_path_histogram(graph, sample=sample, seed=seed) / 2.0
-        pts = [(length, float(freq)) for length, freq in enumerate(hist) if length >= 1 and freq > 0]
+        pts = [
+            (length, float(freq))
+            for length, freq in enumerate(hist)
+            if length >= 1 and freq > 0
+        ]
         series[spec.name] = pts
         max_len = max((length for length, _f in pts), default=0)
         mode = max(pts, key=lambda t: t[1])[0] if pts else 0

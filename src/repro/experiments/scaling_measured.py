@@ -6,12 +6,15 @@ the GIL-bound ``threaded`` engine cannot speed anything up on CPython.
 This experiment is the real thing: it times the ``process`` engine's
 shared-memory worker team on the host's actual cores and reports a
 Figure-4-style wall-clock curve, next to the serial synchronous baselines
-(the historical Python pair loop and the vectorized kernel engine).
+(the literal ``reference`` engine — the seed implementation style, dicts
+and sets — and the vectorized kernel engine; the historical Python pair
+loop was absorbed into the unified runtime, which always runs the
+kernels).
 
 On a single-core host the worker sweep degenerates to coordination
-overhead — the honest result — while the kernel-vs-loop row still shows
-the vectorization speedup.  ``notes`` records the core count so recorded
-runs are interpretable.
+overhead — the honest result — while the kernel-vs-reference row still
+shows the vectorization speedup.  ``notes`` records the core count so
+recorded runs are interpretable.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from __future__ import annotations
 import os
 
 from repro.core.procpool import ProcessPool
+from repro.core.reference import reference_max_chordal
 from repro.core.superstep import superstep_max_chordal
 from repro.experiments.report import ExperimentResult
 from repro.experiments.testsuite import DEFAULT_SEED, build_graph_cached, rmat_spec
@@ -34,16 +38,14 @@ def measure_engines(graph, workers=DEFAULT_WORKERS, repeats: int = 2) -> dict:
     """The measurement protocol, shared with ``benchmarks/bench_scaling.py``.
 
     Best-of-``repeats`` wall-clock seconds of synchronous extraction on
-    ``graph`` for the seed Python pair loop (``"loop"``), the vectorized
-    serial engine (``"kernels"``) and the process engine at each worker
-    count (``"process"``: ``{W: seconds}``, warm-up extraction excluded),
-    plus ``"speedup"`` ratios relative to the loop engine.
+    ``graph`` for the literal reference engine (``"reference"`` — the
+    seed implementation style), the vectorized serial engine
+    (``"kernels"``) and the process engine at each worker count
+    (``"process"``: ``{W: seconds}``, warm-up extraction excluded), plus
+    ``"speedup"`` ratios relative to the reference engine.
     """
-    t_loop = best_of(
-        lambda: superstep_max_chordal(
-            graph, schedule="synchronous", use_kernels=False
-        ),
-        repeats,
+    t_ref = best_of(
+        lambda: reference_max_chordal(graph, schedule="synchronous"), repeats
     )
     t_vec = best_of(
         lambda: superstep_max_chordal(graph, schedule="synchronous"), repeats
@@ -53,9 +55,9 @@ def measure_engines(graph, workers=DEFAULT_WORKERS, repeats: int = 2) -> dict:
         with ProcessPool(graph, num_workers=w) as pool:
             pool.extract()  # warm-up: fault in the shared segment
             proc[w] = best_of(pool.extract, repeats)
-    speedup = {"kernels": t_loop / t_vec}
-    speedup.update({f"process@{w}": t_loop / t for w, t in proc.items()})
-    return {"loop": t_loop, "kernels": t_vec, "process": proc, "speedup": speedup}
+    speedup = {"kernels": t_ref / t_vec}
+    speedup.update({f"process@{w}": t_ref / t for w, t in proc.items()})
+    return {"reference": t_ref, "kernels": t_vec, "process": proc, "speedup": speedup}
 
 
 def run(
@@ -68,8 +70,9 @@ def run(
     """Measure wall-clock synchronous extraction across engines and workers.
 
     Series: ``{kind}/S{scale}/process`` maps worker count to seconds;
-    rows add the serial loop/kernel baselines and the speedup of the best
-    process configuration over the loop engine (the seed implementation).
+    rows add the serial reference/kernel baselines and the speedup of the
+    best process configuration over the reference engine (the seed
+    implementation style).
     """
     workers = tuple(workers)
     series: dict[str, list[tuple]] = {}
@@ -84,11 +87,11 @@ def run(
             rows.append(
                 [
                     f"{kind}({scale})",
-                    round(m["loop"] * 1e3, 3),
+                    round(m["reference"] * 1e3, 3),
                     round(m["kernels"] * 1e3, 3),
                     round(points[0][1] * 1e3, 3),
                     round(best_proc * 1e3, 3),
-                    round(m["loop"] / best_proc, 2),
+                    round(m["reference"] / best_proc, 2),
                 ]
             )
     return ExperimentResult(
@@ -96,17 +99,18 @@ def run(
         title="Measured process-engine scaling (wall clock, this host)",
         headers=[
             "Graph",
-            "loop ms",
+            "reference ms",
             "kernels ms",
             f"proc@{workers[0]} ms",
             "proc@best ms",
-            "speedup vs loop",
+            "speedup vs reference",
         ],
         rows=rows,
         series=series,
         notes=[
             f"host cores: {os.cpu_count()}",
             f"workers swept: {tuple(workers)}; best of {repeats} repeats",
-            "loop = seed Python pair-loop engine; kernels = vectorized serial",
+            "reference = literal pseudocode engine (seed style); "
+            "kernels = vectorized serial",
         ],
     )

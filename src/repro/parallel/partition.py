@@ -1,6 +1,9 @@
 """Work partitioning strategies.
 
-``block_ranges`` and ``balanced_chunks`` drive the threaded engine;
+``balanced_chunks`` is how the unified runtime driver
+(:mod:`repro.core.runtime.driver`) cuts each round's active set into
+contiguous, cost-balanced slices for its executor backend (thread team
+and process team alike); ``block_ranges`` is the unweighted variant.
 ``lpt_assign`` (longest-processing-time list scheduling) is what the
 machine models use to place the trace's independent work items on
 processors — the classic 4/3-approximation to makespan.

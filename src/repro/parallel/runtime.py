@@ -5,7 +5,9 @@ The paper's algorithm is a sequence of barrier-separated parallel loops
 shape: ``team.run(task)`` releases all workers into ``task(thread_id)`` and
 returns when every worker has finished — one superstep.  Worker threads
 persist across supersteps (thread creation is not paid per iteration, as
-on the real platforms).
+on the real platforms).  The unified runtime's
+:class:`~repro.core.runtime.executors.ThreadTeamExecutor` is the adapter
+that plugs this team into the shared schedule driver.
 """
 
 from __future__ import annotations
@@ -41,7 +43,10 @@ class ThreadTeam:
         self._error_lock = threading.Lock()
         self._closed = False
         self._threads = [
-            threading.Thread(target=self._worker, args=(tid,), daemon=True, name=f"repro-worker-{tid}")
+            threading.Thread(
+                target=self._worker, args=(tid,), daemon=True,
+                name=f"repro-worker-{tid}",
+            )
             for tid in range(num_threads)
         ]
         for t in self._threads:

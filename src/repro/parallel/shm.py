@@ -1,9 +1,10 @@
 """Spec-driven shared-memory array blocks for the process engine.
 
-The ``process`` engine shares all of Algorithm 1's state — graph CSR
-arrays, the chordal arena, parent cursors and per-superstep scratch —
-between the coordinating process and its workers through **one**
-``multiprocessing.shared_memory`` segment.  :class:`SharedArrayBlock`
+The ``process`` engine (via the unified runtime's
+:class:`~repro.core.runtime.state.SharedSegmentState` backend) shares all
+of Algorithm 1's state — graph CSR arrays, the chordal arena, parent
+cursors and per-superstep scratch — between the coordinating process and
+its workers through **one** ``multiprocessing.shared_memory`` segment.  :class:`SharedArrayBlock`
 carves that segment into named NumPy views from a declarative *spec*
 (``{name: (dtype, shape)}``): the parent creates the block, workers attach
 to it by name with the same spec, and both sides see the same layout
@@ -45,7 +46,9 @@ ALIGN = 8
 _ALIGN = ALIGN
 
 
-def _layout(spec: dict[str, tuple[str, tuple[int, ...]]]) -> tuple[dict[str, tuple[int, str, tuple[int, ...]]], int]:
+def _layout(
+    spec: dict[str, tuple[str, tuple[int, ...]]],
+) -> tuple[dict[str, tuple[int, str, tuple[int, ...]]], int]:
     """Byte offsets for each named array; total segment size."""
     offsets: dict[str, tuple[int, str, tuple[int, ...]]] = {}
     cursor = 0

@@ -37,7 +37,9 @@ def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
         raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
 
 
-def check_probability_vector(name: str, probs: Sequence[float], length: int | None = None) -> np.ndarray:
+def check_probability_vector(
+    name: str, probs: Sequence[float], length: int | None = None
+) -> np.ndarray:
     """Validate a probability vector (entries in [0,1], summing to 1).
 
     Returns the vector as a float64 array.  Used by the R-MAT generator for

@@ -16,7 +16,6 @@ tier-2 deep end (see ``tests/README.md``).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.graph.builder import build_graph
@@ -105,7 +104,8 @@ def isolated_vertices() -> CSRGraph:
 
 
 @pytest.fixture(
-    params=["path", "cycle5", "k5", "grid33", "star", "barbell", "gnp", "rmat_er", "rmat_g", "rmat_b"]
+    params=["path", "cycle5", "k5", "grid33", "star", "barbell", "gnp",
+            "rmat_er", "rmat_g", "rmat_b"]
 )
 def zoo_graph(request) -> CSRGraph:
     """A diverse zoo of small graphs for cross-cutting invariants."""

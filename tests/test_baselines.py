@@ -12,7 +12,7 @@ from repro.chordality.recognition import is_chordal
 from repro.core.extract import extract_maximal_chordal_subgraph
 from repro.graph.bfs import connected_components
 from repro.graph.builder import build_graph
-from repro.graph.generators.classic import complete_graph, cycle_graph, grid_graph, path_graph
+from repro.graph.generators.classic import complete_graph, cycle_graph, path_graph
 from repro.graph.generators.rmat import rmat_g
 from repro.graph.ops import edge_subgraph
 

@@ -6,7 +6,6 @@ import pytest
 from repro.graph.bfs import bfs_levels, bfs_order, bfs_renumber, connected_components
 from repro.graph.builder import build_graph
 from repro.graph.generators.classic import (
-    complete_graph,
     cycle_graph,
     disjoint_cliques,
     grid_graph,

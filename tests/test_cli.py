@@ -276,6 +276,69 @@ class TestExtract:
         assert "error" in capsys.readouterr().err
 
 
+class TestVerify:
+    def _write_pair(self, tmp_path, maximalize):
+        g = rmat_er(7, seed=3)
+        src = tmp_path / "g.mtx"
+        save_graph(g, str(src))
+        out = tmp_path / "chordal.txt"
+        argv = ["extract", str(src), "-o", str(out), "-q"]
+        if maximalize:
+            argv.insert(2, "--maximalize")
+        assert main(argv) == 0
+        return g, src, out
+
+    def test_valid_maximalized_output_passes(self, tmp_path, capsys):
+        _, src, out = self._write_pair(tmp_path, maximalize=True)
+        assert main(["verify", str(src), str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "valid extraction (chordal + maximal)" in err
+
+    def test_chordal_only_skips_maximality(self, tmp_path, capsys):
+        """Un-maximalized Algorithm 1 output may have a small gap; the
+        --chordal-only mode mirrors bare `repro extract --verify`."""
+        _, src, out = self._write_pair(tmp_path, maximalize=False)
+        assert main(["verify", str(src), str(out), "--chordal-only"]) == 0
+        assert "valid extraction (chordal)" in capsys.readouterr().err
+
+    def test_non_chordal_subgraph_exits_3(self, tmp_path, capsys):
+        g, src, _ = self._write_pair(tmp_path, maximalize=True)
+        # The input graph is its own (non-chordal) "extraction".
+        assert main(["verify", str(src), str(src)]) == 3
+        assert "verification failed" in capsys.readouterr().err
+
+    def test_invented_edges_exit_3(self, tmp_path, capsys):
+        src = tmp_path / "path.txt"
+        src.write_text("0 1\n1 2\n")  # path graph: no 0-2 edge
+        fake = tmp_path / "fake.txt"
+        fake.write_text("0 1\n1 2\n0 2\n")  # claims an edge the input lacks
+        assert main(["verify", str(src), str(fake)]) == 3
+        err = capsys.readouterr().err
+        assert "verification failed" in err and "invents edges" in err
+
+    def test_double_stdin_rejected(self, capsys):
+        assert main(["verify", "-", "-"]) == 2
+        assert "stdin" in capsys.readouterr().err
+
+    def test_stdin_graph(self, tmp_path, monkeypatch, capsys):
+        g, src, out = self._write_pair(tmp_path, maximalize=True)
+        buf = io.StringIO()
+        write_mtx(g, buf)
+        monkeypatch.setattr(sys, "stdin", io.StringIO(buf.getvalue()))
+        assert main(
+            ["verify", "-", str(out), "--input-format", "mtx", "-q"]
+        ) == 0
+
+    def test_quiet_suppresses_verdict(self, tmp_path, capsys):
+        _, src, out = self._write_pair(tmp_path, maximalize=True)
+        assert main(["verify", str(src), str(out), "-q"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "a.mtx"), str(tmp_path / "b.txt")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestBench:
     def test_missing_checkout_reports_error(self, monkeypatch, capsys, tmp_path):
         import repro.cli as cli
@@ -287,6 +350,63 @@ class TestBench:
     @pytest.mark.slow
     def test_regression_guard_runs(self):
         assert main(["bench"]) == 0
+
+    def test_record_choice_parsing(self):
+        parser = build_parser()
+        assert parser.parse_args(["bench"]).record is None
+        assert parser.parse_args(["bench", "--record"]).record == "kernels"
+        for choice in ("kernels", "batch", "async", "all"):
+            assert parser.parse_args(["bench", "--record", choice]).record == choice
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bench", "--record", "gpu"])
+
+    def test_conflicting_record_flags_error(self, capsys):
+        assert main(["bench", "--record", "kernels", "--record-async"]) == 2
+        err = capsys.readouterr().err
+        assert "conflicting record flags" in err
+        assert "--record-async is deprecated" in err
+        assert main(["bench", "--record-batch", "--record-async"]) == 2
+        assert "conflicting record flags" in capsys.readouterr().err
+
+    def test_deprecated_aliases_map_to_choices(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        recorded = []
+
+        class FakeModule:
+            def __init__(self, name):
+                self.name = name
+
+            def record(self):
+                recorded.append(self.name)
+
+        monkeypatch.setattr(cli, "_load_bench_module", FakeModule)
+        assert main(["bench", "--record-batch"]) == 0
+        assert recorded == ["record_batch_baseline"]
+        assert "--record-batch is deprecated" in capsys.readouterr().err
+        recorded.clear()
+        assert main(["bench", "--record-async"]) == 0
+        assert recorded == ["bench_async_process"]
+
+    def test_record_all_runs_every_recorder(self, monkeypatch):
+        import repro.cli as cli
+
+        recorded = []
+
+        class FakeModule:
+            def __init__(self, name):
+                self.name = name
+
+            def record(self):
+                recorded.append(self.name)
+
+        monkeypatch.setattr(cli, "_load_bench_module", FakeModule)
+        assert main(["bench", "--record", "all"]) == 0
+        assert recorded == [
+            "record_baseline",
+            "record_batch_baseline",
+            "bench_async_process",
+        ]
 
 
 class TestPipe:

@@ -1,7 +1,6 @@
 """Tests for component stitching and the maximality completion pass."""
 
 import numpy as np
-import pytest
 
 from repro.chordality.recognition import is_chordal
 from repro.core.connect import stitch_components

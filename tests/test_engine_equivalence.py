@@ -1,9 +1,10 @@
 """Cross-engine equivalence harness (property-style seed sweep).
 
 The synchronous schedule is the repo's determinism contract: all four
-engines (``superstep`` loop + kernels, ``threaded``, ``process``,
-``reference``) × both variants must produce the *identical canonical edge
-set* on every input.  The asynchronous schedule promises less — any run
+engines (``superstep``, ``threaded``, ``process``, ``reference``) × both
+variants must produce the *identical canonical edge set* on every input
+(the first three are pairings of the one runtime driver, so this also
+pins the driver against every backend).  The asynchronous schedule promises less — any run
 yields a chordal subgraph whose maximality gap the completion pass can
 close — and that weaker contract is asserted for every engine (all four
 offer the schedule since the process engine gained its live sweep); the
@@ -126,8 +127,10 @@ def test_async_runs_chordal_and_gap_bounded_wide(engine, seed):
 
 
 class TestKernelLoopAgreement:
-    """The vectorized kernel path and the historical pair loop are the same
-    synchronous engine — rows and queue sizes must match exactly."""
+    """Back-compat pins of the deprecated ``use_kernels`` flag: since the
+    unified runtime, every synchronous superstep runs the bulk kernels,
+    so both historical spellings must agree exactly (rows and queue
+    sizes) and the historical error contract must survive."""
 
     @pytest.mark.parametrize("seed", TIER1_SEEDS)
     @pytest.mark.parametrize("gen", sorted(GENERATORS))

@@ -77,11 +77,17 @@ class TestOptions:
         with pytest.raises(ValueError, match="renumber"):
             extract_maximal_chordal_subgraph(cycle_graph(4), renumber="dfs")
 
-    def test_trace_requires_superstep(self):
+    def test_trace_requires_trace_capable_engine(self):
+        """Traces are a driver feature of the in-process backends: superstep
+        and threaded collect them, reference and process do not."""
         with pytest.raises(ValueError, match="collect_trace"):
             extract_maximal_chordal_subgraph(
-                cycle_graph(4), engine="threaded", collect_trace=True
+                cycle_graph(4), engine="reference", collect_trace=True
             )
+        r = extract_maximal_chordal_subgraph(
+            cycle_graph(4), engine="threaded", num_threads=2, collect_trace=True
+        )
+        assert r.trace is not None
 
     def test_all_engine_variant_combos_chordal(self, zoo_graph):
         for engine in ("superstep", "threaded", "reference"):

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.analysis.assortativity import degree_assortativity
 from repro.analysis.clustering import clustering_by_degree
 from repro.graph.generators.bio import (
     GSE5140_UNT,

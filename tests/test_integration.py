@@ -1,7 +1,6 @@
 """End-to-end integration tests across the full pipeline."""
 
 import numpy as np
-import pytest
 
 from repro import (
     bfs_renumber,

@@ -51,7 +51,7 @@ class TestMtx:
     def test_writer_emits_pattern_symmetric_lower_triangle(self, sample):
         buf = io.StringIO()
         write_mtx(sample, buf)
-        lines = [l for l in buf.getvalue().splitlines() if not l.startswith("%")]
+        lines = [ln for ln in buf.getvalue().splitlines() if not ln.startswith("%")]
         assert lines[0] == "6 6 3"
         for line in lines[1:]:
             row, col = map(int, line.split())

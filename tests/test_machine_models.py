@@ -1,6 +1,5 @@
 """Tests for the XMT/Opteron machine models and the simulation driver."""
 
-import numpy as np
 import pytest
 
 from repro.core.extract import extract_maximal_chordal_subgraph

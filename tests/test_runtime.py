@@ -1,0 +1,296 @@
+"""Tests for the unified extraction runtime (driver × state × executor).
+
+The refactor's contract, pinned here:
+
+1. **Determinism pins** — the synchronous schedule produces bit-identical
+   edge rows and queue profiles across *every* StateBackend ×
+   ExecutorBackend pairing, including the off-diagonal ones no built-in
+   engine uses (shared-memory state driven by the serial or thread-team
+   executor).
+2. **Cross-backend trace equivalence** — the work trace is a property of
+   the schedule, not of who ran it: superstep and threaded produce
+   identical synchronous traces (queue sizes, per-iteration services and
+   work items, critical path), and both match the reference engine's
+   queue sizes on the deterministic schedules.
+3. **Driver validation** — bad knobs and unsupported combinations raise
+   :class:`~repro.errors.ConfigError` before any work happens.
+4. **The third-party recipe** — ``backend_run_fn`` + ``register_engine``
+   is enough to plug a new pairing into the session API.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chordality.recognition import is_chordal
+from repro.core.engines import EngineSpec, register_engine, unregister_engine
+from repro.core.extract import extract_maximal_chordal_subgraph
+from repro.core.kernels import arena_offsets, lower_counts
+from repro.core.procpool import ProcessPool
+from repro.core.reference import reference_max_chordal
+from repro.core.runtime import (
+    LocalState,
+    SerialExecutor,
+    SharedSegmentState,
+    ThreadTeamExecutor,
+    backend_run_fn,
+    drive,
+)
+from repro.core.superstep import superstep_max_chordal
+from repro.core.threaded import threaded_max_chordal
+from repro.errors import ConfigError, ConvergenceError
+from repro.graph.builder import build_graph
+from repro.graph.generators.classic import complete_graph, disjoint_cliques
+from repro.graph.generators.random import gnp_random_graph
+from repro.graph.generators.rmat import rmat_b, rmat_er
+from repro.graph.ops import edge_subgraph
+
+GENERATORS = {
+    "gnp": lambda s: gnp_random_graph(28, 0.18, seed=s),
+    "rmat_er": lambda s: rmat_er(7, seed=s),
+    "rmat_b": lambda s: rmat_b(7, seed=s),
+}
+SEEDS = (0, 1, 2)
+
+
+def shared_state(graph, num_slices):
+    """A SharedSegmentState bound to ``graph`` (exact-fit segment)."""
+    g = graph if graph.sorted_adjacency else graph.with_sorted_adjacency()
+    lower = lower_counts(g.indptr, g.indices)
+    offsets = arena_offsets(lower)
+    state = SharedSegmentState(num_slices)
+    state.reallocate(state.plan_growth(g.num_vertices, int(g.indices.size), int(offsets[-1])))
+    state.bind_graph(g, lower, offsets)
+    return state
+
+
+class TestSyncDeterminismAcrossPairings:
+    """Bit-identical synchronous rows for every state × executor pairing,
+    including the off-diagonal pairings no built-in engine registers."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("gen", sorted(GENERATORS))
+    def test_all_pairings_bit_identical(self, gen, seed):
+        graph = GENERATORS[gen](seed)
+        base_edges, base_qs, _ = drive(
+            LocalState(graph), SerialExecutor(), schedule="synchronous"
+        )
+
+        pairings = []
+        for slices in (1, 3):
+            pairings.append((LocalState(graph, slices), SerialExecutor()))
+        for threads in (2, 5):
+            pairings.append(
+                (LocalState(graph, threads), ThreadTeamExecutor(threads))
+            )
+        # Off-diagonal: shared-memory arrays driven without any worker
+        # processes — the rounds must not care where the arrays live.
+        pairings.append((shared_state(graph, 1), SerialExecutor()))
+        pairings.append((shared_state(graph, 3), ThreadTeamExecutor(3)))
+
+        for state, executor in pairings:
+            with executor:
+                edges, qs, _ = drive(state, executor, schedule="synchronous")
+            label = (type(state).__name__, type(executor).__name__, seed)
+            assert np.array_equal(edges, base_edges), label
+            assert qs == base_qs, label
+            if isinstance(state, SharedSegmentState):
+                state.release()
+
+    @pytest.mark.parametrize("workers", (1, 3, 6))
+    def test_process_team_matches_serial(self, workers):
+        graph = GENERATORS["rmat_er"](4)
+        base_edges, base_qs, _ = superstep_max_chordal(graph, schedule="synchronous")
+        with ProcessPool(graph, num_workers=workers) as pool:
+            edges, qs = pool.extract(schedule="synchronous")
+        assert np.array_equal(edges, base_edges)
+        assert qs == base_qs
+
+    def test_async_sweep_on_shared_state_matches_superstep(self):
+        """The maximal-progress sweep also runs over shared-memory arrays
+        (set mirrors live in the driving process regardless of where the
+        arrays do); serial executor ⇒ deterministic, equal to superstep."""
+        graph = GENERATORS["gnp"](1)
+        base_edges, base_qs, _ = superstep_max_chordal(graph, schedule="asynchronous")
+        state = shared_state(graph, 1)
+        try:
+            edges, qs, _ = drive(state, SerialExecutor(), schedule="asynchronous")
+            assert np.array_equal(edges, base_edges)
+            assert qs == base_qs
+        finally:
+            state.release()
+
+
+class TestCrossBackendTraceEquivalence:
+    """The trace is a property of the schedule, not the executor."""
+
+    @pytest.mark.parametrize("variant", ("optimized", "unoptimized"))
+    @pytest.mark.parametrize("gen", sorted(GENERATORS))
+    def test_threaded_sync_trace_equals_superstep(self, gen, variant):
+        graph = GENERATORS[gen](0)
+        _, _, serial_trace = drive(
+            LocalState(graph),
+            SerialExecutor(),
+            schedule="synchronous",
+            variant=variant,
+            collect_trace=True,
+        )
+        with ThreadTeamExecutor(3) as executor:
+            _, _, team_trace = drive(
+                LocalState(graph, 3),
+                executor,
+                schedule="synchronous",
+                variant=variant,
+                collect_trace=True,
+            )
+        assert serial_trace.queue_sizes == team_trace.queue_sizes
+        assert len(serial_trace.iterations) == len(team_trace.iterations)
+        for a, b in zip(serial_trace.iterations, team_trace.iterations):
+            assert a.services == b.services
+            assert a.edges_added == b.edges_added
+            assert a.subset_comparisons == b.subset_comparisons
+            assert a.advance_ops == b.advance_ops
+            assert a.scan_ops == b.scan_ops
+            assert a.queue_ops == b.queue_ops
+            assert a.critical_path_ops == b.critical_path_ops
+            assert np.array_equal(a.work_items, b.work_items)
+
+    @pytest.mark.parametrize("schedule", ("asynchronous", "synchronous"))
+    def test_traced_queue_sizes_match_reference(self, schedule):
+        """Superstep (serial, both schedules) and reference agree on the
+        per-iteration queue profile; the trace repeats it exactly."""
+        graph = GENERATORS["rmat_b"](2)
+        _, ref_qs = reference_max_chordal(graph, schedule=schedule)
+        edges, qs, trace = superstep_max_chordal(
+            graph, schedule=schedule, collect_trace=True
+        )
+        assert qs == ref_qs
+        assert trace.queue_sizes == ref_qs
+        assert trace.total_edges_added == edges.shape[0]
+
+    def test_threaded_async_trace_accounts_every_service(self):
+        """The thread-sliced sweep trace is nondeterministic but complete:
+        every (vertex, lower-neighbor) pair is serviced exactly once."""
+        graph = GENERATORS["gnp"](3)
+        with ThreadTeamExecutor(3) as executor:
+            edges, qs, trace = drive(
+                LocalState(graph, 3),
+                executor,
+                schedule="asynchronous",
+                collect_trace=True,
+            )
+        services = sum(it.services for it in trace.iterations)
+        assert services == graph.num_edges
+        assert trace.total_edges_added == edges.shape[0]
+        assert trace.queue_sizes == qs
+        assert is_chordal(edge_subgraph(graph, edges))
+
+    def test_session_trace_for_threaded_engine(self):
+        r = extract_maximal_chordal_subgraph(
+            GENERATORS["gnp"](0),
+            engine="threaded",
+            schedule="synchronous",
+            num_threads=2,
+            collect_trace=True,
+        )
+        base = extract_maximal_chordal_subgraph(
+            GENERATORS["gnp"](0), engine="superstep", schedule="synchronous",
+            collect_trace=True,
+        )
+        assert r.trace.queue_sizes == base.trace.queue_sizes
+        assert r.trace.total_work == base.trace.total_work
+
+
+class TestDriverValidation:
+    def test_bad_variant(self):
+        with pytest.raises(ConfigError, match="variant"):
+            drive(LocalState(complete_graph(4)), SerialExecutor(), variant="turbo")
+
+    def test_bad_schedule(self):
+        with pytest.raises(ConfigError, match="schedule"):
+            drive(LocalState(complete_graph(4)), SerialExecutor(), schedule="warp")
+
+    def test_live_rounds_refuse_trace(self):
+        graph = complete_graph(5)
+        with ProcessPool(graph, num_workers=2) as pool:
+            with pytest.raises(ConfigError, match="collect_trace"):
+                drive(
+                    pool._state,
+                    pool._executor,
+                    schedule="asynchronous",
+                    collect_trace=True,
+                )
+
+    def test_iteration_budget(self):
+        with pytest.raises(ConvergenceError, match="iteration budget"):
+            drive(
+                LocalState(complete_graph(8)),
+                SerialExecutor(),
+                schedule="synchronous",
+                max_iterations=2,
+            )
+
+    def test_trivial_graphs(self):
+        for g in (build_graph(0, []), build_graph(5, [])):
+            edges, qs, trace = drive(
+                LocalState(g), SerialExecutor(), collect_trace=True
+            )
+            assert edges.shape == (0, 2)
+            assert qs == []
+            assert trace.num_iterations == 0
+
+
+class TestThirdPartyBackendRecipe:
+    """The README's 'writing a third-party backend' recipe end to end."""
+
+    def test_registered_pairing_runs_through_session(self):
+        run_fn = backend_run_fn(
+            lambda graph, num_slices, config: LocalState(graph, num_slices),
+            lambda config: ThreadTeamExecutor(2),
+        )
+        spec = EngineSpec(
+            name="duo",
+            run_fn=run_fn,
+            description="two-thread pairing (test)",
+            deterministic_schedules=("synchronous",),
+            supports_trace=True,
+        )
+        register_engine(spec)
+        try:
+            graph = GENERATORS["rmat_er"](0)
+            base = extract_maximal_chordal_subgraph(graph, schedule="synchronous")
+            got = extract_maximal_chordal_subgraph(
+                graph, engine="duo", schedule="synchronous"
+            )
+            assert np.array_equal(got.edges, base.edges)
+            traced = extract_maximal_chordal_subgraph(
+                graph, engine="duo", schedule="synchronous", collect_trace=True
+            )
+            assert traced.trace is not None
+        finally:
+            unregister_engine("duo")
+
+
+class TestSweepSemantics:
+    """Pins of the maximal-progress sweep the serial engines rely on."""
+
+    def test_clique_iteration_law(self):
+        for k in (3, 5, 8):
+            _, qs, _ = drive(LocalState(complete_graph(k)), SerialExecutor())
+            assert len(qs) == k - 1
+
+    def test_disjoint_cliques_progress_in_parallel(self):
+        g = disjoint_cliques(3, 4)
+        _, qs, _ = drive(LocalState(g), SerialExecutor())
+        assert qs[0] == 3
+        assert len(qs) == 3
+
+    @pytest.mark.parametrize("threads", (2, 4))
+    def test_thread_sliced_sweep_always_valid(self, threads):
+        for seed in SEEDS:
+            g = GENERATORS["rmat_b"](seed)
+            edges, _ = threaded_max_chordal(
+                g, num_threads=threads, schedule="asynchronous"
+            )
+            assert is_chordal(edge_subgraph(g, edges)), (threads, seed)

@@ -26,7 +26,6 @@ from repro.core.engines import (
     engine_names,
     get_engine,
     register_engine,
-    registered_engines,
     schedule_names,
     unregister_engine,
 )
@@ -105,7 +104,7 @@ class TestConfigErrors:
             {"num_threads": 0},
             {"num_workers": 0},
             {"max_iterations": 0},
-            {"engine": "threaded", "collect_trace": True},
+            {"engine": "process", "collect_trace": True},
         ],
     )
     def test_bad_field_raises_configerror(self, kwargs):
@@ -153,8 +152,10 @@ class TestRegistry:
 
     def test_capability_flags(self):
         assert get_engine("superstep").supports_trace
+        assert get_engine("threaded").supports_trace
         assert get_engine("process").supports_pool
         assert not get_engine("process").supports_trace
+        assert not get_engine("reference").supports_trace
         assert get_engine("process").is_deterministic("synchronous")
         assert not get_engine("process").is_deterministic("asynchronous")
         assert get_engine("reference").is_deterministic("asynchronous")

@@ -17,7 +17,6 @@ and the completion pass stays honest.
 """
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.chordality.maximality import addable_edges

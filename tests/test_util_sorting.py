@@ -1,7 +1,6 @@
 """Tests for the sorted-array kernels (two-pointer subset, merges)."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
