@@ -1,6 +1,7 @@
-"""Tier-2 guard: fail when a hot path regresses >2x against its baseline.
+"""Tier-2 guard: fail when a hot path regresses >2x against its baseline
+or an engine's answer quality drops below its recorded baseline.
 
-Three committed baselines are guarded:
+Four committed baselines are guarded:
 
 * ``BENCH_kernels.json`` — per-kernel median wall-clock of every kernel
   registered in ``benchmarks/record_baseline.py``;
@@ -8,7 +9,14 @@ Three committed baselines are guarded:
   persistent process pool (``benchmarks/record_batch_baseline.py``);
 * ``BENCH_async.json`` — the asynchronous process engine at the scales in
   ``bench_async_process.GUARD_SCALES`` (the full 11–14 range is record-
-  time only, to keep this guard quick).
+  time only, to keep this guard quick);
+* ``BENCH_quality.json`` — retained-edge fraction per engine x schedule
+  on the ``bench_quality.FAMILIES`` menu, plus the weighted engine's
+  retained-weight dominance over the unweighted pipeline
+  (``benchmarks/bench_quality.py``).  Quality cells additionally must
+  never dip below the certified floor of
+  ``repro.chordality.quality.maximal_chordal_floor`` — that failure
+  mode is a correctness bug, no re-record can excuse it.
 
 Not part of tier-1 (``bench_*`` files are not collected by default); run
 explicitly:
@@ -34,6 +42,15 @@ import json
 import pytest
 
 from bench_async_process import ASYNC_PATH, GUARD_SCALES, measure_process_async
+from bench_quality import (
+    FAMILIES,
+    QUALITY_PATH,
+    QUALITY_TOLERANCE,
+    WEIGHTED_FAMILY_SEEDS,
+    measure_cell,
+    measure_weighted,
+    quality_cells,
+)
 from record_baseline import BASELINE_PATH, build_kernels, median_seconds
 from record_batch_baseline import BATCH_PATH, NUM_GRAPHS, NUM_WORKERS, build_graphs
 
@@ -89,6 +106,13 @@ _ASYNC_BASELINE, _ASYNC_PROBLEM = _load_guarded_baseline(
     ASYNC_PATH, ("scales", "num_workers"), "repro bench --record async"
 )
 
+_QUALITY_BASELINE, _QUALITY_PROBLEM = _load_guarded_baseline(
+    QUALITY_PATH,
+    ("retained_fraction", "families", "weighted"),
+    "repro bench --record quality",
+)
+_QUALITY_CELLS = sorted(_QUALITY_BASELINE.get("retained_fraction", {}))
+
 
 @pytest.fixture(scope="module")
 def kernels():
@@ -101,6 +125,7 @@ def kernels():
         pytest.param(_KERNELS_PROBLEM, id="kernels"),
         pytest.param(_BATCH_PROBLEM, id="batch"),
         pytest.param(_ASYNC_PROBLEM, id="async"),
+        pytest.param(_QUALITY_PROBLEM, id="quality"),
     ],
 )
 def test_guarded_baseline_wellformed(problem):
@@ -173,4 +198,75 @@ def test_async_process_not_regressed(scale):
         f"{row['process_async_seconds']:.3f} s ({ratio:.2f}x > "
         f"{MAX_REGRESSION}x); if intentional, re-run "
         "benchmarks/bench_async_process.py"
+    )
+
+
+@pytest.mark.skipif(_QUALITY_PROBLEM is not None, reason="baseline problem reported above")
+def test_quality_baseline_covers_registry():
+    """Every registered engine x schedule cell has a recorded quality
+    baseline and vice versa (a new engine must be recorded; a removed
+    one must be expunged)."""
+    assert set(_QUALITY_CELLS) == set(quality_cells()), (
+        "BENCH_quality.json cells diverge from the engine registry; "
+        "re-record with `repro bench --record quality` and commit the file"
+    )
+    assert set(_QUALITY_BASELINE["families"]) == set(FAMILIES), (
+        "BENCH_quality.json families diverge from bench_quality.FAMILIES; "
+        "re-record with `repro bench --record quality` and commit the file"
+    )
+
+
+@pytest.mark.skipif(_QUALITY_PROBLEM is not None, reason="baseline problem reported above")
+@pytest.mark.parametrize("cell", _QUALITY_CELLS)
+def test_quality_not_regressed(cell):
+    """Each engine x schedule cell must retain at least its recorded edge
+    fraction (minus QUALITY_TOLERANCE for asynchronous nondeterminism)
+    and must never fall below the certified per-graph floor."""
+    if cell not in quality_cells():
+        pytest.skip(f"cell {cell} no longer registered; re-record the baseline")
+    baseline_row = _QUALITY_BASELINE["retained_fraction"][cell]
+    for name, build in FAMILIES.items():
+        recorded = baseline_row.get(name)
+        if recorded is None:
+            pytest.skip(f"family {name} not in recorded baseline; re-record")
+        graph = build()
+        current = measure_cell(cell, graph)
+        meta = _QUALITY_BASELINE["families"][name]
+        floor_fraction = meta["floor"] / meta["m"] if meta["m"] else 1.0
+        assert current >= floor_fraction, (
+            f"{cell} on {name}: retained fraction {current:.4f} is below the "
+            f"certified maximal-chordal floor {floor_fraction:.4f} — the "
+            "output cannot be a maximal chordal subgraph; this is a "
+            "correctness bug, not a quality regression"
+        )
+        assert current >= recorded - QUALITY_TOLERANCE, (
+            f"{cell} on {name}: retained fraction {current:.4f} vs recorded "
+            f"{recorded:.4f} (drop > {QUALITY_TOLERANCE}); if intentional, "
+            "re-record with `repro bench --record quality`"
+        )
+
+
+@pytest.mark.skipif(_QUALITY_PROBLEM is not None, reason="baseline problem reported above")
+@pytest.mark.parametrize("family", sorted(WEIGHTED_FAMILY_SEEDS))
+def test_weighted_dominates_unweighted(family):
+    """The weighted engine must retain at least as much weight as the
+    unweighted pipeline (its portfolio contains that pipeline's exact
+    edge set, so this holds by construction), and must stay within
+    tolerance of its recorded retained weight."""
+    recorded = _QUALITY_BASELINE["weighted"].get(family)
+    if recorded is None:
+        pytest.skip(f"weighted family {family} not in baseline; re-record")
+    current = measure_weighted(family)
+    assert current["weighted"] >= current["unweighted"] - 1e-9, (
+        f"{family}: weighted engine retained {current['weighted']:.2f} < "
+        f"unweighted pipeline {current['unweighted']:.2f} — the portfolio "
+        "floor invariant is broken"
+    )
+    total = max(recorded["total_weight"], 1e-12)
+    drop = (recorded["weighted"] - current["weighted"]) / total
+    assert drop <= QUALITY_TOLERANCE, (
+        f"{family}: weighted retained weight {current['weighted']:.2f} vs "
+        f"recorded {recorded['weighted']:.2f} (relative drop {drop:.4f} > "
+        f"{QUALITY_TOLERANCE}); if intentional, re-record with "
+        "`repro bench --record quality`"
     )

@@ -20,6 +20,15 @@ from repro.chordality.maximality import (
     assert_valid_extraction,
 )
 from repro.chordality.verify import VerificationReport, verify_extraction
+from repro.chordality.quality import (
+    f_lower_bound,
+    maximal_chordal_floor,
+    chordal_edge_ceiling,
+    clique_number_chordal,
+    gnp_envelope,
+    exact_max_chordal,
+    retained_fraction,
+)
 
 __all__ = [
     "mcs_order",
@@ -37,4 +46,11 @@ __all__ = [
     "assert_valid_extraction",
     "VerificationReport",
     "verify_extraction",
+    "f_lower_bound",
+    "maximal_chordal_floor",
+    "chordal_edge_ceiling",
+    "clique_number_chordal",
+    "gnp_envelope",
+    "exact_max_chordal",
+    "retained_fraction",
 ]

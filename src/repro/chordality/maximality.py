@@ -50,6 +50,7 @@ __all__ = [
     "edge_addable",
     "addable_edges",
     "addable_edges_slow",
+    "missing_edges",
     "is_maximal_chordal_subgraph",
     "assert_valid_extraction",
 ]
@@ -62,6 +63,11 @@ def edge_addable(adj: list[set[int]], u: int, v: int) -> bool:
     must currently be a non-edge.  Implements the component criterion from
     the module docstring with an early-exit BFS from ``u`` toward ``v``
     avoiding ``N(u) ∩ N(v)``.
+
+    The BFS expands neighbors in ascending vertex order (not raw set
+    order, which depends on each set's insertion history), so the whole
+    maximality machinery — and therefore every counterexample a failure
+    report prints — is reproducible run to run for the same input.
     """
     if v in adj[u]:
         raise ValueError(f"({u}, {v}) is already an edge")
@@ -70,13 +76,26 @@ def edge_addable(adj: list[set[int]], u: int, v: int) -> bool:
     queue = deque([u])
     while queue:
         x = queue.popleft()
-        for y in adj[x]:
-            if y == v:
-                return False  # reachable avoiding common nbrs -> long induced path
+        if v in adj[x]:
+            return False  # reachable avoiding common nbrs -> long induced path
+        for y in sorted(adj[x]):
             if y not in seen:
                 seen.add(y)
                 queue.append(y)
     return True
+
+
+def missing_edges(graph: CSRGraph, subgraph: CSRGraph) -> list[tuple[int, int]]:
+    """Edges of ``graph`` absent from ``subgraph``, in ``(u, v)``
+    lexicographic order with ``u < v``.
+
+    This is *the* candidate order every maximality scan iterates
+    (:func:`addable_edges`, :func:`addable_edges_slow`, the completion
+    pass in :mod:`repro.core.maximalize`): an explicit deterministic
+    sequence instead of ad-hoc set differences, so failure reports name
+    the same counterexample edges on every run.
+    """
+    return sorted(graph.edge_set() - subgraph.edge_set())
 
 
 def _adjacency_sets(graph: CSRGraph) -> list[set[int]]:
@@ -104,7 +123,7 @@ def addable_edges(
         raise ValueError("subgraph must be chordal to test edge addability")
     adj = _adjacency_sets(subgraph)
     found: list[tuple[int, int]] = []
-    for u, v in sorted(graph.edge_set() - subgraph.edge_set()):
+    for u, v in missing_edges(graph, subgraph):
         if edge_addable(adj, u, v):
             found.append((u, v))
             if limit is not None and len(found) >= limit:
@@ -123,7 +142,7 @@ def addable_edges_slow(
         )
     base_edges = subgraph.edge_array()
     found: list[tuple[int, int]] = []
-    for u, v in sorted(graph.edge_set() - subgraph.edge_set()):
+    for u, v in missing_edges(graph, subgraph):
         candidate = np.vstack((base_edges, np.asarray([[u, v]], dtype=np.int64)))
         if is_chordal(from_edge_array(graph.num_vertices, candidate)):
             found.append((u, v))

@@ -1,0 +1,335 @@
+"""Answer-quality oracles for extracted chordal subgraphs.
+
+The paper evaluates Algorithm 1 by *how many edges it retains* (Section
+V reports ``|EC| / |E|``), but never says how good retention could be.
+This module supplies the missing yardsticks, in three strengths:
+
+**Certified floors** (:func:`f_lower_bound`,
+:func:`maximal_chordal_floor`) — bounds every maximal chordal subgraph
+provably satisfies, derived from first principles below; any engine
+output falling under them is a bug, full stop.  (Gishboliner & Sudakov,
+"Maximal chordal subgraphs", give the asymptotically tight growth of
+the universal ``f(n, m)``; the closed forms here are the elementary
+certified core of such bounds, chosen so the test suite asserts only
+what this module can prove.)
+
+**Certified ceilings** (:func:`chordal_edge_ceiling`,
+:func:`clique_number_chordal`) — no chordal graph with bounded clique
+number can exceed them, so retained-edge counts above are equally
+impossible.
+
+**Asymptotic envelope** (:func:`gnp_envelope`) — for ``G(n, p)`` inputs
+only: a whp sanity band built from the random-graph clique number, in
+the spirit of Krivelevich & Zhukovskii's asymptotics for maximum
+chordal subgraphs of random graphs.  Not certified per instance — tests
+use it with slack, on families where the whp events comfortably hold.
+
+**Ground truth** (:func:`exact_max_chordal`) — a hole-branching
+branch-and-bound (the classic edge-deletion scheme, cf. Bliznets et
+al.'s exact algorithms for chordality-editing problems) that computes a
+true **maximum** (-weight) chordal subgraph on small graphs, against
+which every engine's *maximal* output can be sandwiched:
+``floor <= |maximal| <= |maximum| <= ceiling``.
+
+Why the floors hold
+-------------------
+Let ``H`` be any maximal chordal subgraph of ``G``.
+
+* *No vertex goes isolated*: if ``v`` has a ``G``-edge ``uv`` but degree
+  0 in ``H``, then ``H + uv`` gives ``v`` degree 1, so no cycle — let
+  alone a hole — passes through ``uv``; ``H + uv`` is chordal and ``H``
+  was not maximal.  Hence ``H`` has at least ``ceil(s / 2)`` edges,
+  where ``s`` counts ``G``'s non-isolated vertices.
+* *Components are preserved*: an edge between two ``H``-components lies
+  on no cycle of ``H + uv`` at all, so it is always addable; maximality
+  forces ``H`` to span each component of ``G``, giving at least
+  ``n - c`` edges for ``c`` components (isolated vertices included).
+* *Chordal inputs are kept whole*: if ``G`` is chordal the only maximal
+  chordal subgraph is ``G`` itself (every proper subgraph has an
+  addable ``G``-edge by definition of maximality... applied to the
+  chordal supergraph ``G``), so the floor is ``m``.
+
+:func:`f_lower_bound` is the graph-free form: ``m`` edges force
+``s >= ceil((1 + sqrt(1 + 8m)) / 2)`` non-isolated vertices (since
+``m <= s(s-1)/2``), hence ``ceil(s/2)`` retained edges.
+
+Why the ceiling holds
+---------------------
+A chordal graph is ``(omega - 1)``-degenerate (the first vertex of a
+PEO has all its neighbors in a clique, so degree ``<= omega - 1``;
+removal preserves chordality — induct).  A ``d``-degenerate graph has
+at most ``d * n - d(d+1)/2`` edges, giving
+:func:`chordal_edge_ceiling`; any subgraph of ``G`` also has clique
+number at most ``omega(G)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.chordality.recognition import find_hole, is_chordal
+from repro.graph.bfs import connected_components
+from repro.graph.builder import from_edge_array
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "f_lower_bound",
+    "maximal_chordal_floor",
+    "chordal_edge_ceiling",
+    "clique_number_chordal",
+    "gnp_envelope",
+    "exact_max_chordal",
+    "retained_fraction",
+]
+
+
+def f_lower_bound(n: int, m: int) -> int:
+    """Certified universal floor ``f(n, m)`` on the edge count of *every*
+    maximal chordal subgraph of *every* graph with ``n`` vertices and
+    ``m`` edges.
+
+    ``m`` edges need at least ``s = ceil((1 + sqrt(1 + 8m)) / 2)``
+    non-isolated vertices, every one of which stays non-isolated in a
+    maximal chordal subgraph (module docstring), so at least
+    ``ceil(s / 2)`` edges survive.  Exact inputs that beat this bound do
+    not exist; per-graph information gives the much stronger
+    :func:`maximal_chordal_floor`.
+    """
+    if n < 0 or m < 0:
+        raise ValueError(f"need n, m >= 0, got n={n}, m={m}")
+    if m == 0:
+        return 0
+    s = math.ceil((1.0 + math.sqrt(1.0 + 8.0 * m)) / 2.0)
+    s = min(s, n)
+    return (s + 1) // 2
+
+
+def maximal_chordal_floor(graph: CSRGraph) -> int:
+    """Certified per-graph floor on edges of any maximal chordal subgraph.
+
+    The maximum of three certified bounds (module docstring):
+    ``ceil(non_isolated / 2)``, the spanning bound ``n - components``,
+    and — when ``graph`` is itself chordal — ``m`` (the input must be
+    returned whole).  Every registered engine is property-tested against
+    this floor in ``tests/test_quality_oracles.py``.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return 0
+    degrees = graph.degrees()
+    non_isolated = int(np.count_nonzero(degrees))
+    num_components, _labels = connected_components(graph)
+    floor = max(
+        (non_isolated + 1) // 2,
+        graph.num_vertices - num_components,
+        f_lower_bound(graph.num_vertices, m),
+    )
+    if is_chordal(graph):
+        floor = max(floor, m)
+    return floor
+
+
+def chordal_edge_ceiling(n: int, omega: int) -> int:
+    """Max edges of a chordal graph on ``n`` vertices with clique number
+    ``<= omega`` (the ``(omega-1)``-tree bound; certified, see module
+    docstring).  Attained by ``(omega-1)``-trees."""
+    if n < 0:
+        raise ValueError(f"need n >= 0, got {n}")
+    if omega < 1:
+        return 0
+    d = min(omega, n) - 1  # degeneracy bound; clique size is capped by n
+    return d * n - d * (d + 1) // 2
+
+
+def clique_number_chordal(graph: CSRGraph) -> int:
+    """Exact clique number of a *chordal* graph, in linear time.
+
+    In a PEO, each vertex together with its later neighbors forms a
+    clique, and every maximal clique arises this way (Fulkerson–Gross),
+    so the clique number is ``1 + max later-degree``.  Raises
+    ``ValueError`` on non-chordal input (the shortcut is only valid for
+    chordal graphs).
+    """
+    if not is_chordal(graph):
+        raise ValueError("clique_number_chordal requires a chordal graph")
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    from repro.chordality.mcs import mcs_peo
+
+    order = mcs_peo(graph)
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    best = 1
+    for v in range(n):
+        later = int(np.count_nonzero(position[graph.neighbors(v)] > position[v]))
+        best = max(best, 1 + later)
+    return best
+
+
+def gnp_envelope(n: int, p: float) -> tuple[float, float]:
+    """Whp sanity band ``(low, high)`` for the retained edge count of a
+    maximal chordal subgraph of ``G(n, p)``.
+
+    * ``low = n - 1 - n * (1 - p) ** (n - 1)``: the spanning floor
+      ``n - c``, discounted by the expected number of isolated vertices
+      (for ``p`` above the connectivity threshold this is essentially
+      ``n - 1``).
+    * ``high = chordal_edge_ceiling(n, omega_hat)`` with
+      ``omega_hat = floor(2 log_{1/p} n) + 3`` — whp the clique number
+      of ``G(n, p)`` is below ``omega_hat`` (the classical
+      ``~ 2 log_{1/p} n`` concentration), and no subgraph can exceed
+      the clique number of its host, so no chordal subgraph beats the
+      ceiling.  The resulting ``Theta(n log n)`` scaling of ``high``
+      matches the Krivelevich–Zhukovskii asymptotics for the maximum
+      chordal subgraph of a dense random graph.
+
+    This is an *asymptotic envelope*, not a certified per-instance
+    bound: on tiny ``n`` or extreme ``p`` the whp events can fail.
+    Tests apply it only for ``n >= 50`` and ``0.1 <= p <= 0.9``, where
+    the slack terms are comfortable.
+    """
+    if n < 1 or not 0.0 < p < 1.0:
+        raise ValueError(f"need n >= 1 and 0 < p < 1, got n={n}, p={p}")
+    low = max(0.0, (n - 1) - n * (1.0 - p) ** (n - 1))
+    omega_hat = int(2.0 * math.log(n) / math.log(1.0 / p)) + 3
+    high = float(chordal_edge_ceiling(n, omega_hat))
+    return low, min(high, n * (n - 1) / 2.0)
+
+
+def retained_fraction(graph: CSRGraph, edges) -> float:
+    """``|EC| / |E|`` — the paper's Section V quality statistic (1.0 on an
+    edgeless graph)."""
+    m = graph.num_edges
+    count = int(np.asarray(edges, dtype=np.int64).reshape(-1, 2).shape[0])
+    return count / m if m else 1.0
+
+
+def _hole_edges(hole: list[int]) -> list[tuple[int, int]]:
+    """The cycle edges of a hole returned by :func:`find_hole`."""
+    k = len(hole)
+    out = []
+    for i in range(k):
+        u, v = hole[i], hole[(i + 1) % k]
+        out.append((min(u, v), max(u, v)))
+    return out
+
+
+def exact_max_chordal(
+    graph: CSRGraph,
+    *,
+    weights: dict[tuple[int, int], float] | None = None,
+    node_limit: int = 200_000,
+) -> tuple[np.ndarray, float]:
+    """Exact **maximum**(-weight) chordal subgraph by hole-branching B&B.
+
+    Every chordal subgraph must delete at least one edge of every hole
+    of the remaining graph, so: find a hole, branch on which of its
+    edges to delete, prune branches whose retained weight cannot beat
+    the incumbent, and memoise deletion sets.  This is the classic
+    edge-deletion search used by exact chordality-editing solvers
+    (cf. Bliznets et al.); exponential in the worst case, intended for
+    ground truth on graphs of ~20 vertices (``tests/test_quality_exact``
+    sandwiches every engine between this maximum and the certified
+    floors).
+
+    Parameters
+    ----------
+    graph:
+        Small input graph.
+    weights:
+        Optional ``{(u, v): w}`` with ``u < v`` and ``w >= 0`` (weights
+        are retention *prizes*; negative values would invalidate the
+        pruning bound and are rejected).  Missing edges weigh 1.0, so
+        omitting ``weights`` maximises the edge count.
+    node_limit:
+        Search-node budget; exceeding it raises ``RuntimeError`` rather
+        than silently returning a non-optimal answer.
+
+    Returns
+    -------
+    ``(edges, weight)`` — a maximum(-weight) chordal edge set in
+    canonical order and its total weight.
+    """
+    n = graph.num_vertices
+    rows = [tuple(map(int, e)) for e in graph.edge_array()]
+    weight_of: dict[tuple[int, int], float] = {e: 1.0 for e in rows}
+    if weights is not None:
+        for key, value in weights.items():
+            u, v = int(key[0]), int(key[1])
+            edge = (min(u, v), max(u, v))
+            if edge not in weight_of:
+                raise ValueError(f"weight given for non-edge {edge}")
+            if float(value) < 0.0:
+                raise ValueError(
+                    f"exact_max_chordal needs non-negative weights; "
+                    f"{edge} has {value}"
+                )
+            weight_of[edge] = float(value)
+    total = sum(weight_of.values())
+
+    def build(deleted: frozenset) -> CSRGraph:
+        kept = [e for e in rows if e not in deleted]
+        arr = (
+            np.asarray(kept, dtype=np.int64)
+            if kept
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        return from_edge_array(n, arr)
+
+    # Greedy incumbent: repeatedly delete the lightest edge of some hole.
+    deleted: set = set()
+    current = build(frozenset())
+    while True:
+        hole = find_hole(current)
+        if hole is None:
+            break
+        victim = min(_hole_edges(hole), key=lambda e: (weight_of[e], e))
+        deleted.add(victim)
+        current = build(frozenset(deleted))
+    best_weight = total - sum(weight_of[e] for e in deleted)
+    best_deleted = frozenset(deleted)
+
+    # Best-first branch and bound over deletion sets.
+    visited: set = set()
+    counter = 0
+    heap: list[tuple[float, int, frozenset]] = [(0.0, 0, frozenset())]
+    expanded = 0
+    while heap:
+        deleted_weight, _tie, dset = heapq.heappop(heap)
+        if dset in visited:
+            continue
+        visited.add(dset)
+        if total - deleted_weight <= best_weight:
+            continue  # cannot beat the incumbent (weights are >= 0)
+        expanded += 1
+        if expanded > node_limit:
+            raise RuntimeError(
+                f"exact_max_chordal exceeded node_limit={node_limit} "
+                f"(n={n}, m={len(rows)}); raise the limit or shrink the input"
+            )
+        hole = find_hole(build(dset))
+        if hole is None:
+            best_weight = total - deleted_weight
+            best_deleted = dset
+            continue
+        for e in _hole_edges(hole):
+            child = dset | {e}
+            if child in visited:
+                continue
+            child_weight = deleted_weight + weight_of[e]
+            if total - child_weight <= best_weight:
+                continue
+            counter += 1
+            heapq.heappush(heap, (child_weight, counter, child))
+
+    kept = sorted(e for e in rows if e not in best_deleted)
+    edges = (
+        np.asarray(kept, dtype=np.int64)
+        if kept
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return edges, best_weight

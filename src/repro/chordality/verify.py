@@ -14,6 +14,14 @@ raises on first failure), :func:`verify_extraction` always runs every
 applicable check and returns a :class:`VerificationReport` carrying the
 counterexamples, so a failing property seed prints a complete diagnosis
 in one go.
+
+Reports are **deterministic**: for a given ``(graph, extracted)`` pair
+the counterexamples are always the same, run to run and machine to
+machine — invented edges are sorted, and the maximality scan iterates
+:func:`repro.chordality.maximality.missing_edges` in lexicographic
+order with an ascending-vertex BFS (not raw set order).  A failure
+message pasted into a bug report therefore names the exact edges a
+replay will name again.
 """
 
 from __future__ import annotations

@@ -28,10 +28,10 @@ Subcommands
 ``generate``
     Write an R-MAT / random / chordal family graph to file (or stdout).
 ``bench``
-    One-command performance guard: runs
+    One-command performance *and quality* guard: runs
     ``benchmarks/bench_regression_guard.py`` (the 2x kernel-regression
-    gate), or re-records a baseline with ``--record
-    {kernels,batch,async,all}``.
+    gate plus the BENCH_quality.json retained-edge gate), or re-records
+    a baseline with ``--record {kernels,batch,async,quality,all}``.
 ``experiments``
     Delegates to :mod:`repro.experiments.runner` (tables and figures).
 
@@ -266,17 +266,20 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run the kernel regression guard / record baselines",
         description="Without flags, runs benchmarks/bench_regression_guard.py "
-        "(fails if any hot kernel is >2x slower than BENCH_kernels.json, or "
-        "the batch/async engine baselines regress >2x).  --record re-records "
-        "one baseline: 'kernels' (BENCH_kernels.json), 'batch' (the "
-        "extract_many batch-throughput baseline, BENCH_batch.json), 'async' "
-        "(the asynchronous-schedule baseline, BENCH_async.json), or 'all'.",
+        "(fails if any hot kernel is >2x slower than BENCH_kernels.json, "
+        "the batch/async engine baselines regress >2x, or any engine's "
+        "retained-edge quality drops below BENCH_quality.json).  --record "
+        "re-records one baseline: 'kernels' (BENCH_kernels.json), 'batch' "
+        "(the extract_many batch-throughput baseline, BENCH_batch.json), "
+        "'async' (the asynchronous-schedule baseline, BENCH_async.json), "
+        "'quality' (the answer-quality baseline, BENCH_quality.json), or "
+        "'all'.",
     )
     be.add_argument(
         "--record",
         nargs="?",
         const="kernels",
-        choices=("kernels", "batch", "async", "all"),
+        choices=("kernels", "batch", "async", "quality", "all"),
         default=None,
         help="re-record a baseline (bare --record means 'kernels', its "
         "historical meaning)",
@@ -507,6 +510,7 @@ _RECORDERS = {
     "kernels": "record_baseline",
     "batch": "record_batch_baseline",
     "async": "bench_async_process",
+    "quality": "bench_quality",
 }
 
 
@@ -531,7 +535,7 @@ def _resolve_record_target(args: argparse.Namespace) -> str | None:
     if len(requested) > 1:
         raise ReproError(
             f"conflicting record flags {requested}; pass a single "
-            "--record {kernels,batch,async,all}"
+            "--record {kernels,batch,async,quality,all}"
         )
     return requested[0] if requested else None
 

@@ -56,7 +56,13 @@ class ExtractionConfig:
     engine:
         Registered engine name (see
         :func:`repro.core.engines.engine_names`; built-ins:
-        ``superstep``, ``threaded``, ``process``, ``reference``).
+        ``superstep``, ``threaded``, ``process``, ``reference``, and the
+        weight-aware ``weighted`` MAXCHORD portfolio).  Engines declare a
+        ``supports_weights`` capability; handing a graph that carries
+        edge weights (``graph.has_weights``) to an engine without it is a
+        :class:`~repro.errors.ConfigError` at extraction time — weights
+        are never silently ignored.  Strip them with
+        ``graph.without_weights()`` to run an unweighted engine.
     variant:
         ``"optimized"`` (sorted adjacency) or ``"unoptimized"``.
     schedule:

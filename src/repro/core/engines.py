@@ -40,6 +40,17 @@ ExecutorBackend choice.
     Literal pseudocode transcription; deterministic under both
     schedules; the readable spec (kept loop-for-loop with the paper, so
     deliberately *not* rewritten over the runtime).
+
+One engine implements a *different algorithm* (``algorithm="maxchord"``
+rather than the paper's ``"algorithm1"``):
+
+``weighted``
+    Serial weighted MAXCHORD (Dearing–Shier–Warner) with weight-greedy
+    completion (:mod:`repro.core.weighted`); the only engine with
+    ``supports_weights`` — quality-directed, synchronous-only,
+    deterministic.  Cross-engine equivalence sweeps filter on
+    ``algorithm`` (different algorithms legitimately produce different
+    maximal chordal subgraphs of the same graph).
 """
 
 from __future__ import annotations
@@ -139,6 +150,24 @@ class EngineSpec:
     supports_pool:
         Whether extraction runs on (and can reuse) a
         :class:`~repro.core.procpool.ProcessPool`.
+    supports_weights:
+        Whether the engine consumes per-edge weights
+        (:func:`repro.graph.weights.attach_edge_weights`).  Extracting
+        from a weighted graph with a non-weight-aware engine is a
+        :class:`~repro.errors.ConfigError` (weights would be silently
+        ignored otherwise).
+    algorithm:
+        Which extraction algorithm the engine implements —
+        ``"algorithm1"`` (the paper's) or ``"maxchord"``
+        (Dearing–Shier–Warner).  Engines sharing an algorithm are
+        expected to agree bit-for-bit under deterministic schedules;
+        engines with different algorithms only share the
+        maximal-chordal-subgraph contract.
+
+    ``supports_weights`` and ``algorithm`` are optional for plain
+    Protocol-conforming engine objects; consumers read them with
+    ``getattr(engine, "supports_weights", False)`` /
+    ``getattr(engine, "algorithm", "algorithm1")``.
     """
 
     name: str
@@ -151,6 +180,8 @@ class EngineSpec:
     deterministic_schedules: tuple[str, ...] = ()
     supports_trace: bool = False
     supports_pool: bool = False
+    supports_weights: bool = False
+    algorithm: str = "algorithm1"
 
     def __post_init__(self) -> None:
         _check_engine_invariants(self)
@@ -371,6 +402,17 @@ def _run_reference(graph, config, pool):
     return edges, queue_sizes, None
 
 
+def _run_weighted(graph, config, pool):
+    # Best-of portfolio over weighted/unweighted MAXCHORD and Algorithm 1,
+    # all weight-greedily completed; contains the unweighted pipeline's
+    # exact edge set, so retained weight dominates it by construction.
+    # Import deferred to keep the registry import-light and cycle-free.
+    from repro.core.weighted import weighted_portfolio
+
+    edges, queue_sizes = weighted_portfolio(graph)
+    return edges, queue_sizes, None
+
+
 register_engine(
     EngineSpec(
         name="superstep",
@@ -405,5 +447,17 @@ register_engine(
         run_fn=_run_reference,
         description="literal pseudocode transcription (the readable spec)",
         deterministic_schedules=("asynchronous", "synchronous"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="weighted",
+        run_fn=_run_weighted,
+        description="weight-greedy MAXCHORD portfolio, maximises retained weight",
+        schedules=("synchronous",),
+        default_schedule="synchronous",
+        deterministic_schedules=("synchronous",),
+        supports_weights=True,
+        algorithm="maxchord",
     )
 )

@@ -11,7 +11,9 @@ counterexample and ``EXPERIMENTS.md`` for how rare this is in practice).
 the chordal subgraph using the O(V+E)-per-edge addability criterion of
 :mod:`repro.chordality.maximality` and accepts those that keep the graph
 chordal, yielding a certified-maximal chordal subgraph containing the
-algorithm's output.
+algorithm's output.  With ``weights`` given, candidates are offered
+heaviest-first (the weight-greedy completion the ``weighted`` engine
+runs), biasing the closed gap toward maximum retained weight.
 """
 
 from __future__ import annotations
@@ -25,7 +27,10 @@ __all__ = ["maximalize_chordal_edges"]
 
 
 def maximalize_chordal_edges(
-    graph: CSRGraph, chordal_edges: np.ndarray
+    graph: CSRGraph,
+    chordal_edges: np.ndarray,
+    *,
+    weights: dict[tuple[int, int], float] | None = None,
 ) -> tuple[np.ndarray, int]:
     """Greedily extend ``chordal_edges`` to a truly maximal chordal edge set.
 
@@ -36,6 +41,13 @@ def maximalize_chordal_edges(
     chordal_edges:
         ``(k, 2)`` chordal edge set (must induce a chordal subgraph; this
         is guaranteed for Algorithm 1 output by Theorem 1).
+    weights:
+        Optional ``{(u, v): weight}`` over ``u < v`` edges of ``graph``
+        (see :func:`repro.graph.weights.edge_weight_mapping`).  When
+        given, rejected edges are re-offered in descending weight order
+        (ties by ``(u, v)``), so the completion prefers heavy edges.
+        Candidate order never affects *whether* the result is maximal,
+        only *which* maximal superset is reached.
 
     Returns
     -------
@@ -62,6 +74,8 @@ def maximalize_chordal_edges(
         have.add((min(u, v), max(u, v)))
 
     candidates = sorted(graph.edge_set() - have)
+    if weights is not None:
+        candidates.sort(key=lambda e: (-weights.get(e, 1.0), e))
     added: list[tuple[int, int]] = []
     while True:
         progress = False

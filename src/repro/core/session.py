@@ -36,12 +36,16 @@ import numpy as np
 
 from repro.core.config import ExtractionConfig
 from repro.core.connect import stitch_components
+from repro.core.engines import registered_engines
 from repro.core.instrument import WorkTrace
 from repro.core.maximalize import maximalize_chordal_edges
 from repro.core.procpool import ProcessPool
+from repro.errors import ConfigError
 from repro.graph.bfs import bfs_renumber
 from repro.graph.csr import CSRGraph
 from repro.graph.ops import edge_subgraph
+from repro.graph.weights import attach_edge_weights, edge_weight_mapping
+from repro.graph.weights import retained_weight as _edge_set_weight
 
 __all__ = ["ChordalResult", "Extractor"]
 
@@ -100,6 +104,24 @@ class ChordalResult:
         if self._subgraph is None:
             self._subgraph = edge_subgraph(self.graph, self.edges)
         return self._subgraph
+
+    @property
+    def total_weight(self) -> float:
+        """Total edge weight of the *input* graph (edge count when
+        unweighted, so weighted and unweighted runs are comparable)."""
+        return float(self.graph.total_weight)
+
+    @property
+    def retained_weight(self) -> float:
+        """Total weight of the retained chordal edge set ``EC``."""
+        return _edge_set_weight(self.graph, self.edges)
+
+    @property
+    def weight_fraction(self) -> float:
+        """``retained_weight / total_weight`` — the weighted analogue of
+        :attr:`chordal_fraction` (1.0 on an edgeless / zero-weight graph)."""
+        total = self.total_weight
+        return self.retained_weight / total if total else 1.0
 
 
 def _canonical_edges(edges: np.ndarray) -> np.ndarray:
@@ -175,6 +197,18 @@ class Extractor:
         if self._closed:
             raise RuntimeError("Extractor is closed")
         cfg = self.config
+        if graph.has_weights and not getattr(self._spec, "supports_weights", False):
+            capable = tuple(
+                e.name
+                for e in registered_engines()
+                if getattr(e, "supports_weights", False)
+            )
+            raise ConfigError(
+                f"graph carries edge weights but engine {cfg.engine!r} is not "
+                f"weight-aware (weights would be silently ignored); use a "
+                f"weight-capable engine {capable} or strip them with "
+                f"graph.without_weights()"
+            )
         pool = self._ensure_pool() if self._spec.supports_pool else None
 
         work_graph = graph
@@ -183,6 +217,16 @@ class Extractor:
             work_graph, new_of_old = bfs_renumber(graph)
             old_of_new = np.empty_like(new_of_old)
             old_of_new[new_of_old] = np.arange(new_of_old.size)
+            if graph.has_weights:
+                # bfs_renumber rebuilds the CSR without weights; re-express
+                # the weight map in renumbered ids so the engine sees them.
+                work_graph = attach_edge_weights(
+                    work_graph,
+                    {
+                        (int(new_of_old[u]), int(new_of_old[v])): w
+                        for (u, v), w in edge_weight_mapping(graph).items()
+                    },
+                )
 
         edges, queue_sizes, trace = self._spec.run(work_graph, cfg, pool)
 
@@ -197,7 +241,8 @@ class Extractor:
 
         gap = 0
         if cfg.maximalize:
-            edges, gap = maximalize_chordal_edges(graph, edges)
+            weights = edge_weight_mapping(graph) if graph.has_weights else None
+            edges, gap = maximalize_chordal_edges(graph, edges, weights=weights)
 
         return ChordalResult(
             edges=_canonical_edges(edges),

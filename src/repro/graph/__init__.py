@@ -30,6 +30,12 @@ from repro.graph.ops import (
     degree_histogram,
 )
 from repro.graph.bfs import bfs_levels, bfs_order, connected_components, bfs_renumber
+from repro.graph.weights import (
+    attach_edge_weights,
+    uniform_weights,
+    edge_weight_mapping,
+    retained_weight,
+)
 
 __all__ = [
     "CSRGraph",
@@ -53,4 +59,8 @@ __all__ = [
     "bfs_order",
     "connected_components",
     "bfs_renumber",
+    "attach_edge_weights",
+    "uniform_weights",
+    "edge_weight_mapping",
+    "retained_weight",
 ]

@@ -16,6 +16,15 @@ Design notes
 * Arrays are frozen (``writeable = False``) — every algorithm treats the
   graph as read-only shared state, exactly as the multithreaded algorithm
   requires.
+* A graph may optionally carry **per-edge weights** for the weighted
+  extraction engine (:mod:`repro.core.weighted`): an arc-aligned float
+  array (one entry per stored directed arc, symmetric across the two arcs
+  of each undirected edge).  Weights ride along through
+  :meth:`CSRGraph.with_sorted_adjacency` / :meth:`CSRGraph.shuffled`
+  (the permutation is applied to both arrays) but are *not* part of graph
+  identity (``__eq__`` compares edge sets only).  Construct weighted
+  graphs through :func:`repro.graph.weights.attach_edge_weights`, which
+  validates symmetry and finiteness.
 """
 
 from __future__ import annotations
@@ -49,7 +58,7 @@ class CSRGraph:
         constructor users can call :meth:`validate_symmetry`).
     """
 
-    __slots__ = ("indptr", "indices", "sorted_adjacency", "_degrees")
+    __slots__ = ("indptr", "indices", "sorted_adjacency", "_degrees", "_arc_weights")
 
     def __init__(
         self,
@@ -58,6 +67,7 @@ class CSRGraph:
         *,
         sorted_adjacency: bool,
         validate: bool = True,
+        arc_weights: np.ndarray | None = None,
     ) -> None:
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         indices = np.ascontiguousarray(indices)
@@ -65,12 +75,24 @@ class CSRGraph:
             indices = indices.astype(np.int64)
         if validate:
             self._validate(indptr, indices, sorted_adjacency)
+        if arc_weights is not None:
+            arc_weights = np.ascontiguousarray(arc_weights, dtype=np.float64)
+            if arc_weights.shape != indices.shape:
+                raise GraphFormatError(
+                    f"arc_weights must align with indices: expected shape "
+                    f"{indices.shape}, got {arc_weights.shape}"
+                )
+            if arc_weights.size and not np.all(np.isfinite(arc_weights)):
+                raise GraphFormatError("edge weights must be finite (no NaN/inf)")
         self.indptr = indptr
         self.indices = indices
         self.sorted_adjacency = bool(sorted_adjacency)
         self._degrees = np.diff(indptr)
+        self._arc_weights = arc_weights
         for arr in (self.indptr, self.indices, self._degrees):
             arr.setflags(write=False)
+        if self._arc_weights is not None:
+            self._arc_weights.setflags(write=False)
 
     @staticmethod
     def _validate(indptr: np.ndarray, indices: np.ndarray, sorted_adjacency: bool) -> None:
@@ -136,6 +158,69 @@ class CSRGraph:
             return 0
         return int(self._degrees.max(initial=0))
 
+    # ------------------------------------------------------------------
+    # Edge weights (optional; attached via repro.graph.weights)
+    # ------------------------------------------------------------------
+    @property
+    def has_weights(self) -> bool:
+        """Whether this graph carries per-edge weights."""
+        return self._arc_weights is not None
+
+    @property
+    def arc_weights(self) -> np.ndarray | None:
+        """Arc-aligned weight array (``None`` for unweighted graphs).
+
+        ``arc_weights[i]`` is the weight of the undirected edge stored as
+        arc ``indices[i]``; the two arcs of an edge carry equal weight.
+        """
+        return self._arc_weights
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights aligned with :meth:`neighbors` of ``v`` (weighted graphs)."""
+        if self._arc_weights is None:
+            raise GraphFormatError("graph carries no edge weights")
+        return self._arc_weights[self.indptr[v]:self.indptr[v + 1]]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)`` (GraphFormatError on non-edges /
+        unweighted graphs)."""
+        if self._arc_weights is None:
+            raise GraphFormatError("graph carries no edge weights")
+        row = self.neighbors(u)
+        hits = np.flatnonzero(row == v)
+        if hits.size == 0:
+            raise GraphFormatError(f"({u}, {v}) is not an edge")
+        return float(self._arc_weights[self.indptr[u] + hits[0]])
+
+    def edge_weight_rows(self) -> np.ndarray:
+        """Per-edge weights aligned with :meth:`edge_array` rows."""
+        if self._arc_weights is None:
+            raise GraphFormatError("graph carries no edge weights")
+        n = self.num_vertices
+        src = np.repeat(np.arange(n, dtype=self.indices.dtype), self._degrees)
+        mask = src < self.indices
+        return self._arc_weights[mask]
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all undirected edge weights (0.0 for unweighted graphs
+        with no edges; edge count for unweighted graphs, by the uniform
+        weight-1 convention)."""
+        if self._arc_weights is None:
+            return float(self.num_edges)
+        return float(self._arc_weights.sum()) / 2.0
+
+    def without_weights(self) -> "CSRGraph":
+        """An equivalent unweighted graph sharing the CSR arrays."""
+        if self._arc_weights is None:
+            return self
+        return CSRGraph(
+            self.indptr,
+            self.indices,
+            sorted_adjacency=self.sorted_adjacency,
+            validate=False,
+        )
+
     def has_edge(self, u: int, v: int) -> bool:
         """Edge membership test.
 
@@ -182,10 +267,22 @@ class CSRGraph:
         if self.sorted_adjacency:
             return self
         indices = self.indices.copy()
+        weights = None if self._arc_weights is None else self._arc_weights.copy()
         for v in range(self.num_vertices):
             lo, hi = self.indptr[v], self.indptr[v + 1]
-            indices[lo:hi] = np.sort(indices[lo:hi])
-        return CSRGraph(self.indptr, indices, sorted_adjacency=True, validate=False)
+            if weights is None:
+                indices[lo:hi] = np.sort(indices[lo:hi])
+            else:
+                order = np.argsort(indices[lo:hi], kind="stable")
+                indices[lo:hi] = indices[lo:hi][order]
+                weights[lo:hi] = weights[lo:hi][order]
+        return CSRGraph(
+            self.indptr,
+            indices,
+            sorted_adjacency=True,
+            validate=False,
+            arc_weights=weights,
+        )
 
     def shuffled(self, rng: np.random.Generator) -> "CSRGraph":
         """Return an equivalent graph with randomly permuted adjacency slices.
@@ -194,10 +291,20 @@ class CSRGraph:
         linear next-parent scans are exercised on genuinely unordered lists.
         """
         indices = self.indices.copy()
+        weights = None if self._arc_weights is None else self._arc_weights.copy()
         for v in range(self.num_vertices):
             lo, hi = self.indptr[v], self.indptr[v + 1]
-            rng.shuffle(indices[lo:hi])
-        return CSRGraph(self.indptr, indices, sorted_adjacency=False, validate=False)
+            perm = rng.permutation(hi - lo)
+            indices[lo:hi] = indices[lo:hi][perm]
+            if weights is not None:
+                weights[lo:hi] = weights[lo:hi][perm]
+        return CSRGraph(
+            self.indptr,
+            indices,
+            sorted_adjacency=False,
+            validate=False,
+            arc_weights=weights,
+        )
 
     def validate_symmetry(self) -> None:
         """Raise :class:`GraphFormatError` unless the arc set is symmetric

@@ -68,7 +68,9 @@ class TestParser:
             assert args.engine == "clidemo"
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["extract", "-h"])
-            assert "cli registry probe" in capsys.readouterr().out
+            # argparse reflows help text, so compare wrap-insensitively.
+            help_text = " ".join(capsys.readouterr().out.split())
+            assert "cli registry probe" in help_text
         finally:
             unregister_engine("clidemo")
         with pytest.raises(SystemExit):
@@ -406,6 +408,7 @@ class TestBench:
             "record_baseline",
             "record_batch_baseline",
             "bench_async_process",
+            "bench_quality",
         ]
 
 

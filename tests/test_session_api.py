@@ -143,7 +143,13 @@ class TestConfigErrors:
 
 class TestRegistry:
     def test_builtin_names_and_views(self):
-        assert engine_names() == ("superstep", "threaded", "process", "reference")
+        assert engine_names() == (
+            "superstep",
+            "threaded",
+            "process",
+            "reference",
+            "weighted",
+        )
         assert tuple(ENGINES) == engine_names()
         assert tuple(SCHEDULES) == schedule_names() == (
             "asynchronous",
@@ -159,6 +165,21 @@ class TestRegistry:
         assert get_engine("process").is_deterministic("synchronous")
         assert not get_engine("process").is_deterministic("asynchronous")
         assert get_engine("reference").is_deterministic("asynchronous")
+
+    def test_weighted_engine_capabilities(self):
+        """The quality engine: weight-aware, synchronous-only, a different
+        algorithm tag (excluded from Algorithm-1 bit-identity sweeps)."""
+        spec = get_engine("weighted")
+        assert spec.supports_weights
+        assert spec.algorithm == "maxchord"
+        assert spec.schedules == ("synchronous",)
+        assert spec.is_deterministic("synchronous")
+        assert not spec.supports_pool and not spec.supports_trace
+        # Algorithm-1 engines carry the default tag and no weight support.
+        for name in ("superstep", "threaded", "process", "reference"):
+            other = get_engine(name)
+            assert other.algorithm == "algorithm1"
+            assert not other.supports_weights
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ConfigError, match="already registered"):

@@ -93,6 +93,67 @@ class TestDiagnosedFailures:
         ok.raise_if_invalid()  # no-op
 
 
+def _spanning_forest(g):
+    """Lexicographic-greedy spanning forest of ``g`` (chordal, and far
+    from a maximal chordal subgraph on any dense-enough input)."""
+    parent = list(range(g.num_vertices))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    rows = []
+    for u, v in g.edge_array():
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            parent[ru] = rv
+            rows.append((int(u), int(v)))
+    return np.asarray(rows, dtype=np.int64).reshape(-1, 2)
+
+
+class TestDeterministicReports:
+    def test_counterexamples_reproduce_across_runs(self):
+        """Failure reports must name the same counterexamples on every
+        run: the maximality scan iterates ``missing_edges`` in
+        lexicographic order and the addability BFS expands neighbors in
+        ascending vertex order, so a pasted failure message replays."""
+        from repro.chordality.maximality import missing_edges
+        from repro.graph.builder import from_edge_array
+
+        for seed in range(6):
+            g = gnp_random_graph(24, 0.3, seed=seed)
+            # A deliberately non-maximal chordal subgraph: the spanning
+            # forest (forests are chordal; at this density far from maximal).
+            partial = _spanning_forest(g)
+            reports = [
+                verify_extraction(g, partial, max_counterexamples=5)
+                for _ in range(3)
+            ]
+            first = reports[0]
+            assert first.maximal is False
+            for other in reports[1:]:
+                assert other.addable == first.addable, f"seed={seed}"
+                assert other.invented_edges == first.invented_edges
+            # And the candidate order itself is the documented one.
+            sub = from_edge_array(g.num_vertices, partial)
+            cand = missing_edges(g, sub)
+            assert cand == sorted(cand), f"seed={seed}"
+
+    def test_addable_scans_agree_between_fast_and_oracle(self):
+        """The deterministic fast scan and the rebuild-and-recognise
+        oracle walk the same candidate order, so their outputs are
+        comparable element-for-element."""
+        from repro.chordality.maximality import addable_edges, addable_edges_slow
+        from repro.graph.builder import from_edge_array
+
+        g = gnp_random_graph(18, 0.35, seed=7)
+        partial = _spanning_forest(g)
+        sub = from_edge_array(g.num_vertices, partial)
+        assert addable_edges(g, sub) == addable_edges_slow(g, sub)
+
+
 class TestDegenerate:
     def test_empty_graph_empty_output(self):
         g = build_graph(0, [])
