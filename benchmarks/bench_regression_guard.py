@@ -1,7 +1,7 @@
 """Tier-2 guard: fail when a hot path regresses >2x against its baseline
 or an engine's answer quality drops below its recorded baseline.
 
-Four committed baselines are guarded:
+Five committed baselines are guarded:
 
 * ``BENCH_kernels.json`` — per-kernel median wall-clock of every kernel
   registered in ``benchmarks/record_baseline.py``;
@@ -16,7 +16,10 @@ Four committed baselines are guarded:
   (``benchmarks/bench_quality.py``).  Quality cells additionally must
   never dip below the certified floor of
   ``repro.chordality.quality.maximal_chordal_floor`` — that failure
-  mode is a correctness bug, no re-record can excuse it.
+  mode is a correctness bug, no re-record can excuse it;
+* ``BENCH_service.json`` — ``repro serve`` end-to-end throughput over
+  the wire protocol with the recorded number of concurrent clients on
+  the mixed cache/pool/inline workload (``benchmarks/bench_service.py``).
 
 Not part of tier-1 (``bench_*`` files are not collected by default); run
 explicitly:
@@ -51,6 +54,7 @@ from bench_quality import (
     measure_weighted,
     quality_cells,
 )
+from bench_service import SERVICE_PATH, measure_service
 from record_baseline import BASELINE_PATH, build_kernels, median_seconds
 from record_batch_baseline import BATCH_PATH, NUM_GRAPHS, NUM_WORKERS, build_graphs
 
@@ -113,6 +117,12 @@ _QUALITY_BASELINE, _QUALITY_PROBLEM = _load_guarded_baseline(
 )
 _QUALITY_CELLS = sorted(_QUALITY_BASELINE.get("retained_fraction", {}))
 
+_SERVICE_BASELINE, _SERVICE_PROBLEM = _load_guarded_baseline(
+    SERVICE_PATH,
+    ("requests_per_sec", "num_clients"),
+    "repro bench --record service",
+)
+
 
 @pytest.fixture(scope="module")
 def kernels():
@@ -126,6 +136,7 @@ def kernels():
         pytest.param(_BATCH_PROBLEM, id="batch"),
         pytest.param(_ASYNC_PROBLEM, id="async"),
         pytest.param(_QUALITY_PROBLEM, id="quality"),
+        pytest.param(_SERVICE_PROBLEM, id="service"),
     ],
 )
 def test_guarded_baseline_wellformed(problem):
@@ -269,4 +280,19 @@ def test_weighted_dominates_unweighted(family):
         f"recorded {recorded['weighted']:.2f} (relative drop {drop:.4f} > "
         f"{QUALITY_TOLERANCE}); if intentional, re-record with "
         "`repro bench --record quality`"
+    )
+
+
+@pytest.mark.skipif(_SERVICE_PROBLEM is not None, reason="baseline problem reported above")
+def test_service_throughput_not_regressed():
+    """`repro serve` must keep at least half the recorded requests/sec
+    over the same concurrent mixed workload (BENCH_service.json)."""
+    current = measure_service(num_clients=_SERVICE_BASELINE["num_clients"])
+    baseline_rps = _SERVICE_BASELINE["requests_per_sec"]
+    ratio = baseline_rps / max(current["requests_per_sec"], 1e-9)
+    assert ratio <= MAX_REGRESSION, (
+        f"service throughput: {current['requests_per_sec']:.1f} req/s vs "
+        f"baseline {baseline_rps:.1f} req/s ({ratio:.2f}x slower > "
+        f"{MAX_REGRESSION}x); if intentional, re-record with "
+        "`repro bench --record service`"
     )

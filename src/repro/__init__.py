@@ -49,7 +49,7 @@ from repro.core import (
     ProcessPool,
     stitch_components,
 )
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, SessionClosedError
 from repro.chordality import (
     is_chordal,
     is_maximal_chordal_subgraph,
@@ -92,6 +92,7 @@ __all__ = [
     "schedule_names",
     "ConfigError",
     "ReproError",
+    "SessionClosedError",
     "extract_maximal_chordal_subgraph",
     "extract_many",
     "reference_max_chordal",

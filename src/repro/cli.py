@@ -27,11 +27,16 @@ Subcommands
     extract --verify`` for outputs produced earlier or elsewhere.
 ``generate``
     Write an R-MAT / random / chordal family graph to file (or stdout).
+``serve``
+    Run the extraction service (:mod:`repro.service`): a daemon owning
+    warm worker pools behind a unix socket (and/or TCP), with an
+    admission queue, per-request deadlines and a content-hash result
+    cache.  ``repro extract --server`` routes through it.
 ``bench``
     One-command performance *and quality* guard: runs
     ``benchmarks/bench_regression_guard.py`` (the 2x kernel-regression
     gate plus the BENCH_quality.json retained-edge gate), or re-records
-    a baseline with ``--record {kernels,batch,async,quality,all}``.
+    a baseline with ``--record {kernels,batch,async,quality,service,all}``.
 ``experiments``
     Delegates to :mod:`repro.experiments.runner` (tables and figures).
 
@@ -44,6 +49,8 @@ Examples
     repro extract graph.mtx -o chordal.txt --engine process --num-workers 4
     repro generate rmat-er --scale 8 | repro extract - --quiet
     repro extract data/*.mtx --out-dir results/ --engine process
+    repro serve --socket /tmp/repro.sock --pools 2 --num-workers 4 &
+    repro extract graph.mtx --server /tmp/repro.sock
     repro bench
     repro experiments table1 --scales 8,9
 
@@ -179,7 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
         + ", ".join(f"{e.name}: {e.default_schedule}" for e in engines)
         + ")",
     )
-    ex.add_argument("--num-workers", type=int, default=4, help="process-engine workers")
+    ex.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help="process-engine workers (default 4; server-owned with --server)",
+    )
     ex.add_argument("--num-threads", type=int, default=4, help="threaded-engine threads")
     ex.add_argument(
         "--renumber", choices=("bfs",), default=None, help="BFS-renumber before extraction"
@@ -200,6 +212,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ex.add_argument(
         "-q", "--quiet", action="store_true", help="suppress per-graph stats on stderr"
+    )
+    ex.add_argument(
+        "--server",
+        default=None,
+        metavar="ADDR",
+        help="route extraction through a running `repro serve` daemon: a "
+        "unix-socket path, or HOST:PORT for TCP.  --verify then certifies "
+        "server-side; --num-workers is rejected (the server sizes its own "
+        "pools)",
     )
 
     ver = sub.add_parser(
@@ -262,6 +283,68 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--density", type=float, default=0.3, help="random-chordal density")
     gen.add_argument("--seed", type=int, default=None, help="RNG seed")
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the extraction service daemon (warm pools, cache)",
+        description="Serve extraction requests over a unix socket (and/or "
+        "TCP): warm worker-process pools, a bounded admission queue "
+        "(explicit BUSY backpressure), per-request deadlines, a "
+        "content-hash result cache, and worker-death recovery.  Clients: "
+        "`repro extract --server ADDR` or repro.service.ServiceClient.  "
+        "Stop with SIGINT/SIGTERM (drains in-flight requests first).",
+    )
+    srv.add_argument(
+        "--socket", default=None, metavar="PATH", help="unix-socket path to listen on"
+    )
+    srv.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="also (or instead) listen on TCP; port 0 picks a free port",
+    )
+    srv.add_argument(
+        "--pools", type=int, default=1, help="warm worker pools (default 1)"
+    )
+    srv.add_argument(
+        "--num-workers", type=int, default=2, help="worker processes per pool (default 2)"
+    )
+    srv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission-queue bound; further requests get BUSY (default 32)",
+    )
+    srv.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="default per-request deadline in seconds (default 30)",
+    )
+    srv.add_argument(
+        "--cache-entries",
+        type=int,
+        default=128,
+        help="result-cache entry ceiling; 0 disables caching (default 128)",
+    )
+    srv.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        help="result-cache byte ceiling (default 256 MiB)",
+    )
+    srv.add_argument(
+        "--barrier-timeout",
+        type=float,
+        default=None,
+        help="seconds before a silent worker team is declared dead "
+        "(default: the pool's 120s)",
+    )
+    srv.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="ignore the protocol's shutdown op (stop via signals only)",
+    )
+
     be = sub.add_parser(
         "bench",
         help="run the kernel regression guard / record baselines",
@@ -272,14 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
         "re-records one baseline: 'kernels' (BENCH_kernels.json), 'batch' "
         "(the extract_many batch-throughput baseline, BENCH_batch.json), "
         "'async' (the asynchronous-schedule baseline, BENCH_async.json), "
-        "'quality' (the answer-quality baseline, BENCH_quality.json), or "
-        "'all'.",
+        "'quality' (the answer-quality baseline, BENCH_quality.json), "
+        "'service' (the serve-daemon throughput baseline, "
+        "BENCH_service.json), or 'all'.",
     )
     be.add_argument(
         "--record",
         nargs="?",
         const="kernels",
-        choices=("kernels", "batch", "async", "quality", "all"),
+        choices=("kernels", "batch", "async", "quality", "service", "all"),
         default=None,
         help="re-record a baseline (bare --record means 'kernels', its "
         "historical meaning)",
@@ -372,6 +456,83 @@ def _out_dir_target(out_dir: Path, source: str, out_ext: str) -> str:
     return str(out_dir / f"{stem}.chordal{out_ext}")
 
 
+def _parse_server_address(address: str) -> dict:
+    """``--server`` value -> ServiceClient kwargs (unix path or HOST:PORT)."""
+    if ":" in address and "/" not in address:
+        host, _, port = address.rpartition(":")
+        if not port.isdigit():
+            raise ReproError(
+                f"--server {address!r}: TCP form is HOST:PORT (numeric port)"
+            )
+        return {"host": host or "127.0.0.1", "port": int(port)}
+    return {"socket_path": address}
+
+
+def _extract_via_server(args: argparse.Namespace, out_dir, out_ext) -> int:
+    """The ``--server`` path of ``repro extract``: same inputs/outputs,
+    extraction (and --verify certification) done by the daemon."""
+    from repro.service import ServiceClient, ServiceError
+
+    if args.num_workers is not None:
+        print(
+            "repro extract: error: --num-workers is server-owned with "
+            "--server (the daemon sizes its pools at startup)",
+            file=sys.stderr,
+        )
+        return 2
+    config = {"engine": args.engine, "variant": args.variant}
+    if args.schedule is not None:
+        config["schedule"] = args.schedule
+    if args.num_threads is not None:
+        config["num_threads"] = args.num_threads
+    if args.renumber is not None:
+        config["renumber"] = args.renumber
+    if args.stitch:
+        config["stitch"] = True
+    if args.maximalize:
+        config["maximalize"] = True
+    with ServiceClient(**_parse_server_address(args.server)) as client:
+        for source in args.inputs:
+            if source == "-":
+                graph, name = _read_stdin(args.input_format), "<stdin>"
+            else:
+                graph, name = load_graph(source, format=args.input_format), source
+            with Timer() as timer:
+                try:
+                    result = client.extract(graph, config=config, verify=args.verify)
+                except ServiceError as exc:
+                    if exc.code == "VERIFY_FAILED":
+                        print(
+                            f"repro extract: verification failed for {name}: "
+                            f"{exc}",
+                            file=sys.stderr,
+                        )
+                        return 3
+                    raise
+            target = (
+                _out_dir_target(out_dir, source, out_ext) if out_dir else args.output
+            )
+            _write_result(result, target, args.output_format)
+            if not args.quiet:
+                m = graph.num_edges
+                verified = (
+                    " verified=chordal" + (",maximal" if args.maximalize else "")
+                    if args.verify
+                    else ""
+                )
+                print(
+                    f"{name}: n={graph.num_vertices} m={m} "
+                    f"chordal={result.num_edges} "
+                    f"({100 * (result.num_edges / m if m else 1.0):.1f}%) "
+                    f"iterations={result.num_iterations} "
+                    f"engine={result.engine} served_by={result.served_by}"
+                    f"{' (cached)' if result.cached else ''}{verified} "
+                    f"[{timer.elapsed:.3f}s]",
+                    file=sys.stderr,
+                )
+    return 0
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     if len(args.inputs) > 1 and not args.out_dir:
         print(
@@ -379,19 +540,6 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    # One validated config for the whole invocation; schedule=None
-    # resolves to the engine's registered default (synchronous for
-    # process — deterministic output files — asynchronous otherwise).
-    config = ExtractionConfig(
-        engine=args.engine,
-        variant=args.variant,
-        schedule=args.schedule,
-        num_threads=args.num_threads,
-        num_workers=args.num_workers,
-        renumber=args.renumber,
-        stitch=args.stitch,
-        maximalize=args.maximalize,
-    )
     out_dir = Path(args.out_dir) if args.out_dir else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -410,6 +558,21 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 )
                 return 2
             seen[target] = source
+    if args.server is not None:
+        return _extract_via_server(args, out_dir, out_ext)
+    # One validated config for the whole invocation; schedule=None
+    # resolves to the engine's registered default (synchronous for
+    # process — deterministic output files — asynchronous otherwise).
+    config = ExtractionConfig(
+        engine=args.engine,
+        variant=args.variant,
+        schedule=args.schedule,
+        num_threads=args.num_threads,
+        num_workers=args.num_workers,
+        renumber=args.renumber,
+        stitch=args.stitch,
+        maximalize=args.maximalize,
+    )
     # One session for the whole batch: the pool is spawned on first use
     # and rebound per graph (the extract_many amortisation).
     with Extractor(config) as extractor:
@@ -511,6 +674,7 @@ _RECORDERS = {
     "batch": "record_batch_baseline",
     "async": "bench_async_process",
     "quality": "bench_quality",
+    "service": "bench_service",
 }
 
 
@@ -557,6 +721,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return pytest.main([str(guard), "-q", *args.pytest_args])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service import ReproServer, ServiceConfig
+
+    host: str | None = None
+    port = 0
+    if args.tcp is not None:
+        h, _, p = args.tcp.rpartition(":")
+        if not p.isdigit():
+            raise ReproError(f"--tcp {args.tcp!r}: expected HOST:PORT (numeric port)")
+        host, port = h or "127.0.0.1", int(p)
+    config = ServiceConfig(
+        socket_path=args.socket,
+        host=host,
+        port=port,
+        num_pools=args.pools,
+        num_workers=args.num_workers,
+        queue_depth=args.queue_depth,
+        request_timeout=args.request_timeout,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        barrier_timeout=args.barrier_timeout,
+        allow_remote_shutdown=not args.no_remote_shutdown,
+    )
+    server = ReproServer(config)
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal-handler signature
+        server.request_stop()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    server.start()
+    listening = []
+    if args.socket:
+        listening.append(args.socket)
+    if server.tcp_address:
+        listening.append("%s:%d" % server.tcp_address)
+    print(
+        f"repro serve: listening on {' and '.join(listening)} "
+        f"({config.num_pools} pool(s) x {config.num_workers} workers, "
+        f"queue depth {config.queue_depth})",
+        file=sys.stderr,
+        flush=True,
+    )
+    server.serve_forever()
+    print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as experiments_main
 
@@ -567,6 +781,7 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "verify": _cmd_verify,
     "generate": _cmd_generate,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "experiments": _cmd_experiments,
 }

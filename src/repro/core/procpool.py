@@ -84,7 +84,7 @@ from repro.core.kernels import arena_offsets, lower_counts
 from repro.core.runtime.driver import drive
 from repro.core.runtime.executors import ProcessTeamExecutor, WorkerTeamError
 from repro.core.runtime.state import SharedSegmentState
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SessionClosedError
 from repro.graph.csr import CSRGraph
 
 __all__ = ["ProcessPool", "process_max_chordal"]
@@ -160,7 +160,7 @@ class ProcessPool:
         automatically when handed a graph that is not currently bound.
         """
         if self._closed:
-            raise RuntimeError("ProcessPool is closed")
+            raise SessionClosedError("ProcessPool is closed")
         g = graph if graph.sorted_adjacency else graph.with_sorted_adjacency()
         lower = lower_counts(g.indptr, g.indices)
         offsets = arena_offsets(lower)
@@ -217,7 +217,7 @@ class ProcessPool:
         :func:`repro.chordality.verify_extraction`.
         """
         if self._closed:
-            raise RuntimeError("ProcessPool is closed")
+            raise SessionClosedError("ProcessPool is closed")
         if schedule not in ("synchronous", "asynchronous"):
             raise ConfigError(
                 "schedule must be 'synchronous' or 'asynchronous', "

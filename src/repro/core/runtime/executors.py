@@ -132,7 +132,18 @@ def _worker_main(tid, shm_name, caps, num_workers, start_barrier, done_barrier) 
     published a new layout generation, run a slice, join the done barrier;
     repeat until the shutdown command (or the coordinator breaks the
     barriers — a quiet exit, the coordinator already raised)."""
+    import signal
     import threading
+
+    # A fork inherits the parent's Python signal handlers.  When the
+    # embedding application handles SIGTERM/SIGINT (e.g. `repro serve`'s
+    # graceful drain), an inherited handler would swallow the
+    # coordinator's terminate() during reaping — the handler runs its
+    # (meaningless, forked-copy) cleanup and the worker resumes its
+    # barrier wait, leaving an unkillable orphan.  Workers take the
+    # default dispositions instead: terminate() terminates.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
 
     block = SharedArrayBlock.attach(shm_name, build_spec(*caps, num_workers))
     ctrl = block.arrays["control"]

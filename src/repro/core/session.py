@@ -40,7 +40,7 @@ from repro.core.engines import registered_engines
 from repro.core.instrument import WorkTrace
 from repro.core.maximalize import maximalize_chordal_edges
 from repro.core.procpool import ProcessPool
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SessionClosedError
 from repro.graph.bfs import bfs_renumber
 from repro.graph.csr import CSRGraph
 from repro.graph.ops import edge_subgraph
@@ -195,7 +195,7 @@ class Extractor:
     def extract(self, graph: CSRGraph) -> ChordalResult:
         """Run one extraction under this session's config."""
         if self._closed:
-            raise RuntimeError("Extractor is closed")
+            raise SessionClosedError("Extractor is closed")
         cfg = self.config
         if graph.has_weights and not getattr(self._spec, "supports_weights", False):
             capable = tuple(
@@ -267,8 +267,19 @@ class Extractor:
         Pulls one graph at a time from the iterable, so arbitrarily
         large (even unbounded) inputs run in O(one graph) memory and the
         first result is available before later inputs are generated.
+
+        Closing the session (or its caller-supplied pool) while the
+        generator is mid-iteration makes the next ``next()`` raise
+        :class:`~repro.errors.SessionClosedError` — a clean
+        :class:`~repro.errors.ReproError`, never a half-torn-down
+        ``AttributeError`` from inside the pool machinery.
         """
         for graph in graphs:
+            if self._closed:
+                raise SessionClosedError(
+                    "Extractor was closed while a stream() generator was "
+                    "mid-iteration; create a new session to keep extracting"
+                )
             yield self.extract(graph)
 
     def close(self) -> None:

@@ -35,6 +35,20 @@ class ConfigError(ReproError, ValueError):
     """
 
 
+class SessionClosedError(ReproError, RuntimeError):
+    """Raised when a closed session or pool is used again.
+
+    Covers :meth:`repro.core.session.Extractor.extract` after
+    :meth:`~repro.core.session.Extractor.close` — including the next
+    ``next()`` on a :meth:`~repro.core.session.Extractor.stream`
+    generator that was mid-iteration when the session closed — and
+    :class:`~repro.core.procpool.ProcessPool` operations after the pool
+    was closed.  Subclasses ``RuntimeError`` because that is what these
+    paths historically raised, so pre-existing ``except RuntimeError``
+    call sites keep working; new code should catch :class:`ReproError`.
+    """
+
+
 class NotChordalError(ReproError):
     """Raised when an operation requires a chordal graph but the input
     graph is not chordal (e.g. clique-tree construction)."""

@@ -1,0 +1,49 @@
+"""Extraction service: a long-lived daemon serving concurrent clients.
+
+The session API (:class:`~repro.core.session.Extractor`) amortises one
+worker-team spawn across a batch; this package lifts that amortisation
+into a *server process* that owns a fleet of warm
+:class:`~repro.core.procpool.ProcessPool` teams and multiplexes any
+number of clients onto them over a unix-socket (or TCP) connection —
+the ROADMAP's "millions of users" direction made concrete.
+
+Modules
+-------
+:mod:`repro.service.protocol`
+    The wire format: length-prefixed JSON frames, graph payloads (inline
+    edge list or base64 CSR arrays), typed error codes, content hashing.
+:mod:`repro.service.server`
+    :class:`ReproServer` — admission queue with explicit backpressure
+    (bounded depth → ``BUSY``, per-request deadline → ``TIMEOUT``), a
+    content-hash × resolved-config result cache, and worker-death
+    recovery (pool rebuilt, in-flight request retried once).
+:mod:`repro.service.client`
+    :class:`ServiceClient` — the blocking client the CLI's ``--server``
+    flag uses; one socket, sequential framed requests.
+
+Quickstart::
+
+    repro serve --socket /tmp/repro.sock --pools 2 --num-workers 4 &
+    repro extract graph.mtx --server /tmp/repro.sock
+
+or in Python::
+
+    with ServiceClient(socket_path="/tmp/repro.sock") as client:
+        result = client.extract(graph)          # ServiceResult
+        again = client.extract(graph)
+        assert again.cached and (again.edges == result.edges).all()
+"""
+
+from repro.service.client import ServiceClient, ServiceResult
+from repro.service.protocol import ERROR_CODES, ProtocolError, ServiceError
+from repro.service.server import ReproServer, ServiceConfig
+
+__all__ = [
+    "ReproServer",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceResult",
+    "ServiceError",
+    "ProtocolError",
+    "ERROR_CODES",
+]

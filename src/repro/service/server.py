@@ -1,0 +1,753 @@
+"""The ``repro serve`` daemon: warm pools, backpressure, result cache.
+
+Architecture (all threads daemonic, one process)::
+
+    accept thread(s)  --- one per listener (unix socket and/or TCP)
+        |
+    connection threads --- one per client; framing + request decoding,
+        |                  cache lookups, response writing.  A request
+        |                  that needs compute is enqueued and awaited
+        |                  with its remaining deadline; the connection
+        |                  thread is the *only* writer of its socket.
+        v
+    admission queue   --- bounded (``queue_depth``); a full queue answers
+        |                  ``BUSY`` immediately (explicit backpressure,
+        |                  never unbounded buffering).
+        v
+    dispatcher threads -- one per warm ProcessPool; each owns its pool
+                           exclusively (no pool locking).  Pool-capable
+                           engines run on the pool; in-process engines
+                           (superstep/threaded/reference/weighted) run
+                           inline on the dispatcher thread, so every
+                           request shares one backpressure policy.
+
+Fault containment
+-----------------
+* **Worker death** — a SIGKILLed/OOM-killed pool worker surfaces as
+  :class:`~repro.core.runtime.executors.WorkerTeamError` via the barrier
+  agent (the pool self-closes).  The dispatcher rebuilds a fresh warm
+  pool and retries the in-flight request once; a second failure answers
+  a typed ``WORKER_DIED``.  The server — and every other connection —
+  survives.
+* **Client death** — a client that disconnects mid-request costs nothing
+  but the discarded result: dispatchers never touch sockets, so the
+  admission queue cannot wedge; the connection thread notices on write
+  and exits.
+* **Deadlines** — every request carries a deadline (its ``timeout``
+  field, default ``request_timeout``).  Expiring while *queued* skips
+  execution entirely; expiring mid-execution answers ``TIMEOUT`` while
+  the computed result still lands in the cache (the work is not wasted).
+* **Shutdown** — :meth:`ReproServer.shutdown` stops admissions
+  (``SHUTTING_DOWN``), drains in-flight requests through the queue's
+  FIFO order, joins every thread and closes the pools.
+
+Result cache
+------------
+Keyed by :func:`~repro.service.protocol.graph_content_hash` ×
+:func:`~repro.service.protocol.config_cache_key` (the *resolved*
+config).  A hit returns the bit-identical stored edge set without
+touching a pool.  Entries are LRU-evicted beyond ``cache_entries`` or
+``cache_bytes`` — both ceilings hold at all times.  Nondeterministic
+(asynchronous) regimes cache their first answer, which is exactly as
+valid as any other the engine could return.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import ExtractionConfig
+from repro.core.procpool import ProcessPool
+from repro.core.runtime.executors import WorkerTeamError
+from repro.core.session import Extractor
+from repro.errors import ConfigError, ReproError
+from repro.graph.builder import build_graph
+from repro.graph.csr import CSRGraph
+from repro.service import protocol
+from repro.service.protocol import (
+    BAD_REQUEST,
+    BUSY,
+    INTERNAL,
+    SHUTTING_DOWN,
+    TIMEOUT,
+    VERIFY_FAILED,
+    WORKER_DIED,
+    ProtocolError,
+    error_response,
+)
+
+__all__ = ["ServiceConfig", "ReproServer", "ResultCache"]
+
+#: Socket-timeout granularity at which blocked reads/accepts poll the
+#: server's stopping flag.
+_POLL_SECONDS = 0.25
+
+_QUEUE_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one :class:`ReproServer`, validated at construction.
+
+    At least one listener (``socket_path`` and/or ``host``) is required.
+    ``dispatch_delay_s`` is a fault-injection seam: an artificial pause
+    a dispatcher takes before executing each request, letting the test
+    suite fill the admission queue and expire deadlines
+    deterministically; it is 0 in production.
+    """
+
+    socket_path: str | None = None
+    host: str | None = None
+    port: int = 0
+    num_pools: int = 1
+    num_workers: int = 2
+    queue_depth: int = 32
+    request_timeout: float = 30.0
+    drain_timeout: float = 10.0
+    cache_entries: int = 128
+    cache_bytes: int = 256 * 1024 * 1024
+    barrier_timeout: float | None = None
+    max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME
+    allow_remote_shutdown: bool = True
+    dispatch_delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and self.host is None:
+            raise ConfigError(
+                "ServiceConfig needs a listener: socket_path (unix) "
+                "and/or host (TCP)"
+            )
+        for name, minimum in (
+            ("num_pools", 1),
+            ("num_workers", 1),
+            ("queue_depth", 1),
+            ("cache_entries", 0),
+            ("cache_bytes", 0),
+        ):
+            if getattr(self, name) < minimum:
+                raise ConfigError(f"{name} must be >= {minimum}, got {getattr(self, name)}")
+        for name in ("request_timeout", "drain_timeout"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.dispatch_delay_s < 0:
+            raise ConfigError(
+                f"dispatch_delay_s must be >= 0, got {self.dispatch_delay_s}"
+            )
+
+
+class ResultCache:
+    """Thread-safe LRU cache of extracted edge sets.
+
+    Values are stored as immutable bytes; :meth:`get` rebuilds the
+    ``(k, 2)`` int64 array, so every hit is bit-identical to the stored
+    answer.  Both ceilings (entry count and total byte size) hold after
+    every insert; an entry larger than ``max_bytes`` is simply not
+    cached.
+    """
+
+    def __init__(self, max_entries: int, max_bytes: int) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[bytes, dict]] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> tuple[np.ndarray, dict] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            raw, meta = entry
+        edges = np.frombuffer(raw, dtype="<i8").reshape(-1, 2)
+        return edges, dict(meta)
+
+    def put(self, key: tuple, edges: np.ndarray, meta: dict) -> None:
+        raw = np.ascontiguousarray(edges, dtype="<i8").tobytes()
+        if len(raw) > self.max_bytes or self.max_entries == 0:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old[0])
+            self._entries[key] = (raw, dict(meta))
+            self._bytes += len(raw)
+            while (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, (dropped, _meta) = self._entries.popitem(last=False)
+                self._bytes -= len(dropped)
+                self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+class _PendingRequest:
+    """One admitted extraction: handoff cell between a connection thread
+    (which owns the socket and the deadline) and a dispatcher (which
+    owns the compute).  ``state`` transitions under ``lock``:
+    ``queued -> running -> done`` or ``* -> abandoned`` (deadline
+    expired / client gone); first writer wins, the other side discards.
+    """
+
+    __slots__ = ("graph", "config", "cache_key", "no_cache", "verify",
+                 "deadline", "lock", "event", "state", "response")
+
+    def __init__(self, graph, config, cache_key, no_cache, verify, deadline):
+        self.graph: CSRGraph = graph
+        self.config: ExtractionConfig = config
+        self.cache_key = cache_key
+        self.no_cache: bool = no_cache
+        self.verify: bool = verify
+        self.deadline: float = deadline
+        self.lock = threading.Lock()
+        self.event = threading.Event()
+        self.state = "queued"
+        self.response: dict[str, Any] | None = None
+
+
+class ReproServer:
+    """The extraction daemon.  See the module docstring for the design.
+
+    Use as a context manager (or call :meth:`start` / :meth:`shutdown`)::
+
+        with ReproServer(ServiceConfig(socket_path=path)) as server:
+            ...  # clients connect; shutdown drains on exit
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.cache = ResultCache(config.cache_entries, config.cache_bytes)
+        self._queue: queue.Queue = queue.Queue(maxsize=config.queue_depth)
+        self._pools: list[ProcessPool | None] = [None] * config.num_pools
+        self._listeners: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
+        self._conn_threads: set[threading.Thread] = set()
+        self._conn_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "extractions": 0,
+            "cache_hits": 0,
+            "pool_dispatches": 0,
+            "inline_dispatches": 0,
+            "busy_rejections": 0,
+            "timeouts": 0,
+            "retries": 0,
+            "pool_rebuilds": 0,
+            "protocol_errors": 0,
+            "connections": 0,
+        }
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._started = False
+        self._tcp_address: tuple[str, int] | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ReproServer":
+        """Bind listeners, spawn warm pools, dispatchers and acceptors."""
+        if self._stopping.is_set():
+            raise ReproError("ReproServer cannot be restarted after shutdown")
+        if self._started:
+            return self
+        self._started = True
+        cfg = self.config
+        for idx in range(cfg.num_pools):
+            self._pools[idx] = self._fresh_pool()
+        if cfg.socket_path is not None:
+            path = cfg.socket_path
+            if os.path.exists(path):
+                os.unlink(path)  # stale socket from a dead server
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(path)
+            self._listeners.append(listener)
+        if cfg.host is not None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((cfg.host, cfg.port))
+            self._tcp_address = listener.getsockname()
+            self._listeners.append(listener)
+        for listener in self._listeners:
+            listener.listen(64)
+            listener.settimeout(_POLL_SECONDS)
+            thread = threading.Thread(
+                target=self._accept_loop,
+                args=(listener,),
+                daemon=True,
+                name="repro-serve-accept",
+            )
+            thread.start()
+            self._threads.append(thread)
+        for idx in range(cfg.num_pools):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                args=(idx,),
+                daemon=True,
+                name=f"repro-serve-dispatch-{idx}",
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _fresh_pool(self) -> ProcessPool:
+        """A warm pool: the worker team is spawned *now*, not on the
+        first request — pre-binding a seed graph forces the spawn."""
+        pool = ProcessPool(
+            num_workers=self.config.num_workers,
+            barrier_timeout=self.config.barrier_timeout,
+        )
+        pool.bind(build_graph(3, [(0, 1), (1, 2), (0, 2)]))
+        return pool
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """The bound ``(host, port)`` when a TCP listener is up."""
+        return self._tcp_address
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`shutdown` completes."""
+        self.start()
+        self._stopping.wait()
+        self.shutdown()
+        self._stopped.wait()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_forever` to drain and stop.  Safe to call
+        from a signal handler (just sets an event)."""
+        self._stopping.set()
+
+    def shutdown(self) -> None:
+        """Graceful stop: refuse new work, drain in-flight, tear down.
+
+        Idempotent and callable from any thread (including a connection
+        thread serving a ``shutdown`` op — joins skip the caller).
+        """
+        self._stopping.set()
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return
+            for listener in self._listeners:
+                try:
+                    listener.close()
+                except OSError:
+                    pass
+            # FIFO sentinels: every request admitted before shutdown is
+            # executed (drained) before its dispatcher sees the sentinel.
+            deadline = time.monotonic() + self.config.drain_timeout
+            for _ in range(self.config.num_pools):
+                try:
+                    self._queue.put(
+                        _QUEUE_SENTINEL,
+                        timeout=max(0.1, deadline - time.monotonic()),
+                    )
+                except queue.Full:  # pragma: no cover - drain overrun
+                    break
+            me = threading.current_thread()
+            for thread in self._threads:
+                if thread is not me:
+                    thread.join(timeout=max(0.5, deadline - time.monotonic()))
+            with self._conn_lock:
+                conns = list(self._conn_threads)
+            for thread in conns:
+                if thread is not me:
+                    thread.join(timeout=2 * _POLL_SECONDS + 1.0)
+            for idx, pool in enumerate(self._pools):
+                if pool is not None:
+                    pool.close()
+                    self._pools[idx] = None
+            if self.config.socket_path and os.path.exists(self.config.socket_path):
+                try:
+                    os.unlink(self.config.socket_path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            self._stopped.set()
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown` (context-manager symmetry)."""
+        self.shutdown()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            if self._started and not self._stopped.is_set():
+                self.shutdown()
+        except Exception:
+            pass
+
+    # -- stats ----------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[name] += amount
+
+    def stats(self) -> dict[str, Any]:
+        """A point-in-time counter snapshot (also served as op=stats)."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+        pools = []
+        for pool in self._pools:
+            try:
+                pids = [p.pid for p in pool._procs] if pool is not None else []
+            except Exception:  # pragma: no cover - pool mid-rebuild
+                pids = []
+            pools.append({"worker_pids": pids})
+        counters["queue_depth"] = self._queue.qsize()
+        counters["queue_capacity"] = self.config.queue_depth
+        counters["cache"] = self.cache.stats()
+        counters["pools"] = pools
+        counters["stopping"] = self._stopping.is_set()
+        return counters
+
+    # -- accept / connection handling -----------------------------------
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:  # listener closed by shutdown
+                return
+            self._bump("connections")
+            thread = threading.Thread(
+                target=self._connection_loop,
+                args=(conn,),
+                daemon=True,
+                name="repro-serve-conn",
+            )
+            with self._conn_lock:
+                self._conn_threads.add(thread)
+            thread.start()
+
+    def _connection_loop(self, conn: socket.socket) -> None:
+        conn.settimeout(_POLL_SECONDS)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = protocol.recv_message(
+                        conn,
+                        max_frame=self.config.max_frame_bytes,
+                        stop=self._stopping.is_set,
+                    )
+                except ProtocolError as exc:
+                    # One typed error frame, then hang up: the stream is
+                    # unsynchronised, so no further frame is trustworthy.
+                    self._bump("protocol_errors")
+                    self._send(conn, error_response(exc.code, str(exc)))
+                    return
+                except OSError:  # client reset the connection
+                    return
+                if request is None:  # clean EOF
+                    return
+                self._bump("requests")
+                response = self._handle_request(request)
+                if response is None:  # shutdown op: reply sent inside
+                    return
+                if not self._send(conn, response):
+                    return
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            with self._conn_lock:
+                self._conn_threads.discard(threading.current_thread())
+
+    def _send(self, conn: socket.socket, message: dict[str, Any]) -> bool:
+        """Write one response; False when the client is gone (the only
+        consequence of a dead client is its own lost response).
+
+        Writes run under a generous timeout (reads keep the short poll
+        interval): a client legitimately draining a large frame must not
+        be mistaken for a dead one, while a wedged client cannot pin the
+        connection thread forever.
+        """
+        try:
+            conn.settimeout(30.0)
+            protocol.send_message(
+                conn, message, max_frame=self.config.max_frame_bytes
+            )
+            return True
+        except (OSError, ProtocolError):
+            return False
+        finally:
+            try:
+                conn.settimeout(_POLL_SECONDS)
+            except OSError:  # pragma: no cover - socket died post-send
+                pass
+
+    # -- request handling ------------------------------------------------
+
+    def _handle_request(self, request: dict[str, Any]) -> dict[str, Any] | None:
+        try:
+            op = request.get("op")
+            if op == "ping":
+                from repro import __version__
+
+                return {
+                    "ok": True,
+                    "pong": True,
+                    "version": __version__,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                }
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            if op == "shutdown":
+                return self._handle_shutdown()
+            if op == "extract":
+                return self._handle_extract(request)
+            return error_response(
+                BAD_REQUEST,
+                f"unknown op {op!r}; expected one of "
+                "('ping', 'stats', 'extract', 'shutdown')",
+            )
+        except ProtocolError as exc:
+            return error_response(exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - no tracebacks on the wire
+            return error_response(
+                INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _handle_shutdown(self) -> dict[str, Any] | None:
+        if not self.config.allow_remote_shutdown:
+            return error_response(
+                BAD_REQUEST, "remote shutdown is disabled on this server"
+            )
+        # Tear down on a helper thread: shutdown() joins connection
+        # threads, and this *is* one.  The response goes out first.
+        threading.Thread(
+            target=self.shutdown, daemon=True, name="repro-serve-shutdown"
+        ).start()
+        return {"ok": True, "stopping": True}
+
+    def _handle_extract(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._stopping.is_set():
+            return error_response(
+                SHUTTING_DOWN, "server is draining; no new requests admitted"
+            )
+        unknown = set(request) - {
+            "op", "graph", "config", "timeout", "verify", "no_cache"
+        }
+        if unknown:
+            return error_response(
+                BAD_REQUEST, f"unknown request field(s) {sorted(unknown)}"
+            )
+        if "graph" not in request:
+            return error_response(BAD_REQUEST, "extract needs a 'graph' payload")
+        graph = protocol.decode_graph(request["graph"])
+        config = protocol.decode_config(request.get("config"))
+        timeout = protocol.decode_timeout(
+            request.get("timeout"), self.config.request_timeout
+        )
+        verify = bool(request.get("verify", False))
+        no_cache = bool(request.get("no_cache", False))
+
+        # The resolved regime is the cache identity; the server's pool
+        # size stands in for num_workers on pool-capable engines.
+        resolved = config.resolved()
+        if resolved.engine_spec.supports_pool:
+            resolved = resolved.replace(num_workers=self.config.num_workers)
+        cache_key = (
+            protocol.graph_content_hash(graph),
+            protocol.config_cache_key(resolved),
+        )
+
+        if not no_cache:
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                edges, meta = hit
+                self._bump("cache_hits")
+                return self._success(
+                    graph, resolved, edges, meta,
+                    cached=True, served_by="cache", pool=None, verify=verify,
+                )
+
+        pending = _PendingRequest(
+            graph, config, None if no_cache else cache_key,
+            no_cache, False, time.monotonic() + timeout,
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self._bump("busy_rejections")
+            return error_response(
+                BUSY,
+                f"admission queue full ({self.config.queue_depth} deep); "
+                "retry later or raise --queue-depth",
+            )
+        remaining = pending.deadline - time.monotonic()
+        pending.event.wait(timeout=max(0.0, remaining))
+        with pending.lock:
+            if pending.state == "done":
+                response = pending.response
+            else:
+                pending.state = "abandoned"
+                response = None
+        if response is None:
+            self._bump("timeouts")
+            return error_response(
+                TIMEOUT, f"request exceeded its {timeout:g}s deadline"
+            )
+        if response.get("ok") and verify:
+            failure = self._verify_failure(
+                graph, protocol.decode_edges(response), resolved
+            )
+            if failure is not None:
+                return failure
+            response = dict(response)
+            response["verified"] = True
+        return response
+
+    def _success(
+        self,
+        graph: CSRGraph,
+        resolved: ExtractionConfig,
+        edges: np.ndarray,
+        meta: dict[str, Any],
+        *,
+        cached: bool,
+        served_by: str,
+        pool: int | None,
+        verify: bool,
+    ) -> dict[str, Any]:
+        if verify:
+            failure = self._verify_failure(graph, edges, resolved)
+            if failure is not None:
+                return failure
+        response = {
+            "ok": True,
+            "cached": cached,
+            "served_by": served_by,
+            "pool": pool,
+            "engine": resolved.engine,
+            "schedule": resolved.schedule,
+            **meta,
+            **protocol.encode_edges(edges),
+        }
+        if verify:
+            response["verified"] = True
+        return response
+
+    def _verify_failure(
+        self, graph: CSRGraph, edges: np.ndarray, resolved: ExtractionConfig
+    ) -> dict[str, Any] | None:
+        from repro.chordality.verify import verify_extraction
+
+        report = verify_extraction(
+            graph, edges, check_maximal=resolved.maximalize
+        )
+        if report.ok:
+            return None
+        return error_response(VERIFY_FAILED, str(report))
+
+    # -- dispatchers -----------------------------------------------------
+
+    def _dispatch_loop(self, idx: int) -> None:
+        while True:
+            pending = self._queue.get()
+            if pending is _QUEUE_SENTINEL:
+                return
+            with pending.lock:
+                if pending.state == "abandoned":  # expired while queued
+                    continue
+                pending.state = "running"
+            if self.config.dispatch_delay_s:
+                time.sleep(self.config.dispatch_delay_s)
+            response = self._execute(pending, idx)
+            with pending.lock:
+                if pending.state == "running":
+                    pending.response = response
+                    pending.state = "done"
+                    pending.event.set()
+                # else: abandoned mid-run — result discarded (but cached).
+
+    def _execute(self, pending: _PendingRequest, idx: int) -> dict[str, Any]:
+        try:
+            edges, meta, served_by = self._run_extraction(pending.config, pending.graph, idx)
+        except WorkerTeamError as exc:
+            # The pool self-closed; rebuild it warm and retry exactly once.
+            self._bump("pool_rebuilds")
+            self._bump("retries")
+            self._pools[idx] = self._fresh_pool()
+            try:
+                edges, meta, served_by = self._run_extraction(
+                    pending.config, pending.graph, idx
+                )
+            except WorkerTeamError as retry_exc:
+                self._pools[idx] = self._fresh_pool()
+                return error_response(
+                    WORKER_DIED,
+                    f"worker team died twice for one request "
+                    f"(first: {exc}; retry: {retry_exc})",
+                )
+        except ProtocolError as exc:
+            return error_response(exc.code, str(exc))
+        except ReproError as exc:
+            return error_response(INTERNAL, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - no tracebacks on the wire
+            return error_response(INTERNAL, f"{type(exc).__name__}: {exc}")
+        self._bump("extractions")
+        if pending.cache_key is not None:
+            self.cache.put(pending.cache_key, edges, meta)
+        resolved = pending.config.resolved()
+        if resolved.engine_spec.supports_pool:
+            resolved = resolved.replace(num_workers=self.config.num_workers)
+        return self._success(
+            pending.graph, resolved, edges, meta,
+            cached=False, served_by=served_by,
+            pool=idx if served_by == "pool" else None,
+            verify=False,
+        )
+
+    def _run_extraction(
+        self, config: ExtractionConfig, graph: CSRGraph, idx: int
+    ) -> tuple[np.ndarray, dict[str, Any], str]:
+        spec = config.engine_spec
+        if spec.supports_pool:
+            self._bump("pool_dispatches")
+            extractor = Extractor(config, pool=self._pools[idx])
+            served_by = "pool"
+        else:
+            self._bump("inline_dispatches")
+            extractor = Extractor(config)
+            served_by = "inline"
+        with extractor:
+            result = extractor.extract(graph)
+        meta = {
+            "num_iterations": result.num_iterations,
+            "maximality_gap": result.maximality_gap,
+            "stitched_bridges": result.stitched_bridges,
+        }
+        return result.edges, meta, served_by

@@ -9,6 +9,10 @@ Markers (registered here so ``--strict-markers`` stays viable):
 * ``async_stress`` — wide sweeps and worker-churn scenarios for the
   asynchronous process engine; skipped unless ``--run-async-stress``
   (or ``-m ... async_stress ...``) is given.
+* ``service_stress`` — fault injection against a live ``repro serve``
+  daemon (worker SIGKILL, client kill, queue saturation, drain);
+  skipped unless ``--run-service-stress`` (or ``-m ... service_stress
+  ...``) is given.
 
 Tier-1 (``pytest -x -q``) therefore stays fast; the marked sweeps are the
 tier-2 deep end (see ``tests/README.md``).
@@ -37,6 +41,10 @@ _OPTIONAL_MARKERS = {
     "async_stress": (
         "--run-async-stress",
         "async process-engine stress test; skipped unless --run-async-stress",
+    ),
+    "service_stress": (
+        "--run-service-stress",
+        "extraction-service fault injection; skipped unless --run-service-stress",
     ),
 }
 

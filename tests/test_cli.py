@@ -357,7 +357,7 @@ class TestBench:
         parser = build_parser()
         assert parser.parse_args(["bench"]).record is None
         assert parser.parse_args(["bench", "--record"]).record == "kernels"
-        for choice in ("kernels", "batch", "async", "all"):
+        for choice in ("kernels", "batch", "async", "quality", "service", "all"):
             assert parser.parse_args(["bench", "--record", choice]).record == choice
         with pytest.raises(SystemExit):
             parser.parse_args(["bench", "--record", "gpu"])
@@ -409,6 +409,7 @@ class TestBench:
             "record_batch_baseline",
             "bench_async_process",
             "bench_quality",
+            "bench_service",
         ]
 
 

@@ -1,0 +1,214 @@
+"""Result-cache certification for the extraction service.
+
+The cache's identity is ``graph_content_hash × config_cache_key`` over
+the *resolved* config.  These tests pin the contract from the outside,
+using the server's dispatch counters as instrumentation: a hit must
+return the bit-identical stored edge set *without touching a pool*
+(``pool_dispatches`` / ``inline_dispatches`` unchanged), while any
+change of graph content (relabeling, weights) or resolved regime is a
+miss.  The LRU ceilings (entries and bytes) are pinned both through the
+:class:`~repro.service.server.ResultCache` unit surface and through a
+live server sized to evict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_graph, rmat_b
+from repro.graph.weights import attach_edge_weights
+from repro.service import ReproServer, ServiceClient, ServiceConfig
+from repro.service.server import ResultCache
+
+
+def _dispatches(stats) -> int:
+    return stats["pool_dispatches"] + stats["inline_dispatches"]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    sock = str(tmp_path_factory.mktemp("svc-cache") / "repro.sock")
+    config = ServiceConfig(
+        socket_path=sock,
+        num_pools=1,
+        num_workers=2,
+        cache_entries=64,
+        barrier_timeout=30.0,
+    )
+    with ReproServer(config) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(socket_path=server.config.socket_path) as c:
+        yield c
+
+
+def test_cache_hit_is_bit_identical_and_never_touches_a_pool(client):
+    graph = rmat_b(7, seed=42)
+    config = {"engine": "process"}
+    first = client.extract(graph, config=config)
+    assert not first.cached and first.served_by == "pool"
+    before = client.stats()
+    second = client.extract(graph, config=config)
+    after = client.stats()
+    assert second.cached and second.served_by == "cache"
+    assert second.pool is None
+    assert (second.edges == first.edges).all()
+    assert second.edges.dtype == first.edges.dtype
+    # the hit was served without any dispatcher involvement
+    assert _dispatches(after) == _dispatches(before)
+    assert after["cache_hits"] == before["cache_hits"] + 1
+
+
+def test_same_content_different_wire_shape_is_a_hit(client):
+    graph = rmat_b(6, seed=43)
+    config = {"engine": "superstep", "schedule": "synchronous"}
+    first = client.extract(graph, config=config, binary=True)
+    second = client.extract(graph, config=config, binary=False)
+    assert second.cached
+    assert (second.edges == first.edges).all()
+
+
+def test_relabeled_isomorphic_graph_misses(client):
+    # Same structure, different vertex names -> different content.
+    g = build_graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    relabeled = build_graph(5, [(1, 2), (2, 3), (3, 4), (4, 0), (0, 1)])
+    genuinely = build_graph(5, [(0, 2), (2, 4), (4, 1), (1, 3), (3, 0)])
+    config = {"engine": "superstep"}
+    client.extract(g, config=config)
+    assert client.extract(relabeled, config=config).cached  # same edge set
+    assert not client.extract(genuinely, config=config).cached
+
+
+def test_weighted_and_unweighted_same_topology_miss(client):
+    square = build_graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    weighted = attach_edge_weights(
+        square, {(0, 1): 4.0, (1, 2): 1.0, (2, 3): 4.0, (0, 3): 1.0}
+    )
+    config = {"engine": "weighted"}
+    unweighted_result = client.extract(square, config=config)
+    weighted_result = client.extract(weighted, config=config)
+    assert not weighted_result.cached  # weights are part of the identity
+    assert client.extract(square, config=config).cached
+    assert client.extract(weighted, config=config).cached
+    # ... and different weights are a different graph again
+    reweighted = attach_edge_weights(
+        square, {(0, 1): 1.0, (1, 2): 4.0, (2, 3): 1.0, (0, 3): 4.0}
+    )
+    assert not client.extract(reweighted, config=config).cached
+    assert unweighted_result.num_edges == weighted_result.num_edges == 3
+
+
+def test_differing_resolved_configs_miss(client):
+    graph = rmat_b(6, seed=44)
+    base = client.extract(graph, config={"engine": "superstep"})
+    assert not base.cached
+    for other in (
+        {"engine": "superstep", "variant": "unoptimized"},
+        {"engine": "superstep", "maximalize": True},
+        {"engine": "superstep", "stitch": True},
+        {"engine": "superstep", "renumber": "bfs"},
+        {"engine": "reference"},
+    ):
+        assert not client.extract(graph, config=other).cached, other
+
+
+def test_default_and_explicit_schedule_share_one_entry(client):
+    # schedule=None resolves to the engine default — same cache row.
+    graph = rmat_b(6, seed=45)
+    client.extract(graph, config={"engine": "process"})
+    explicit = client.extract(
+        graph, config={"engine": "process", "schedule": "synchronous"}
+    )
+    assert explicit.cached
+
+
+def test_no_cache_bypasses_both_lookup_and_store(client):
+    graph = rmat_b(6, seed=46)
+    config = {"engine": "superstep", "variant": "unoptimized", "stitch": True}
+    client.extract(graph, config=config, no_cache=True)
+    before = client.stats()
+    repeat = client.extract(graph, config=config, no_cache=True)
+    after = client.stats()
+    assert not repeat.cached
+    assert _dispatches(after) == _dispatches(before) + 1
+    # no_cache runs did not populate the cache either
+    assert not client.extract(graph, config=config, no_cache=True).cached
+
+
+def test_lru_eviction_pins_the_entry_ceiling(tmp_path):
+    sock = str(tmp_path / "lru.sock")
+    config = ServiceConfig(
+        socket_path=sock, num_workers=1, cache_entries=2, barrier_timeout=30.0
+    )
+    graphs = [rmat_b(5, seed=s) for s in (1, 2, 3)]
+    with ReproServer(config):
+        with ServiceClient(socket_path=sock) as client:
+            for g in graphs:
+                client.extract(g, config={"engine": "superstep"})
+            stats = client.stats()["cache"]
+            assert stats["entries"] <= 2
+            assert stats["evictions"] >= 1
+            # LRU: g0 (oldest) was evicted, g2 (newest) survives
+            assert client.extract(graphs[2], config={"engine": "superstep"}).cached
+            assert not client.extract(
+                graphs[0], config={"engine": "superstep"}
+            ).cached
+
+
+# ---------------------------------------------------------------------------
+# ResultCache unit surface
+
+
+def _edges(k: int, offset: int = 0) -> np.ndarray:
+    return np.arange(offset, offset + 2 * k, dtype=np.int64).reshape(k, 2)
+
+
+def test_result_cache_entry_ceiling_holds():
+    cache = ResultCache(max_entries=3, max_bytes=1 << 20)
+    for i in range(10):
+        cache.put((i,), _edges(4, i), {"i": i})
+        assert cache.stats()["entries"] <= 3
+    assert cache.get((9,)) is not None
+    assert cache.get((0,)) is None
+    assert cache.stats()["evictions"] == 7
+
+
+def test_result_cache_byte_ceiling_holds():
+    row_bytes = _edges(10).nbytes
+    cache = ResultCache(max_entries=100, max_bytes=3 * row_bytes)
+    for i in range(10):
+        cache.put((i,), _edges(10), {})
+        assert cache.stats()["bytes"] <= 3 * row_bytes
+    assert cache.stats()["entries"] == 3
+
+
+def test_result_cache_rejects_oversized_entry_outright():
+    cache = ResultCache(max_entries=10, max_bytes=64)
+    cache.put(("big",), _edges(1000), {})
+    assert cache.stats() == {
+        "entries": 0,
+        "bytes": 0,
+        "max_entries": 10,
+        "max_bytes": 64,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+    }
+
+
+def test_result_cache_get_recency_and_replacement():
+    cache = ResultCache(max_entries=2, max_bytes=1 << 20)
+    cache.put(("a",), _edges(2), {"tag": "a"})
+    cache.put(("b",), _edges(2, 10), {"tag": "b"})
+    assert cache.get(("a",))[1]["tag"] == "a"  # refresh 'a'
+    cache.put(("c",), _edges(2, 20), {"tag": "c"})  # evicts 'b', not 'a'
+    assert cache.get(("b",)) is None
+    edges, meta = cache.get(("a",))
+    assert (edges == _edges(2)).all()
+    # replacing a key updates bytes accounting rather than double-counting
+    cache.put(("a",), _edges(5), {"tag": "a2"})
+    assert cache.stats()["bytes"] == _edges(5).nbytes + _edges(2).nbytes

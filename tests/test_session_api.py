@@ -37,7 +37,7 @@ from repro.core.extract import (
 )
 from repro.core.procpool import ProcessPool
 from repro.core.session import Extractor
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, SessionClosedError
 from repro.graph.generators.classic import cycle_graph, path_graph
 from repro.graph.generators.rmat import rmat_b, rmat_er
 
@@ -416,6 +416,36 @@ class TestExtractorLifecycle:
             listed = ex.extract_many(graphs)
         for a, b in zip(streamed, listed):
             assert np.array_equal(a.edges, b.edges)
+
+    def test_close_mid_stream_raises_clean_repro_error(self):
+        """Regression: closing the session while a stream() generator is
+        mid-iteration must surface as SessionClosedError (a ReproError)
+        on the next next(), never a half-torn-down AttributeError from
+        inside the pool machinery."""
+        ex = Extractor(ExtractionConfig(engine="process", num_workers=2))
+        stream = ex.stream(rmat_b(5, seed=s) for s in range(10))
+        first = next(stream)
+        assert first.num_chordal_edges > 0
+        ex.close()
+        with pytest.raises(SessionClosedError, match="mid-iteration"):
+            next(stream)
+        # the session error is both a ReproError (library base class) and
+        # a RuntimeError (what these paths historically raised)
+        assert issubclass(SessionClosedError, ReproError)
+        assert issubclass(SessionClosedError, RuntimeError)
+
+    def test_external_pool_closed_mid_stream_raises_clean_repro_error(self):
+        """Same teardown gap via the caller-owned pool: the pool dying
+        under a streaming session is a SessionClosedError, not an
+        AttributeError."""
+        pool = ProcessPool(num_workers=2)
+        ex = Extractor(ExtractionConfig(engine="process"), pool=pool)
+        stream = ex.stream(rmat_b(5, seed=s) for s in range(10))
+        next(stream)
+        pool.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            next(stream)
+        ex.close()
 
     def test_process_pool_spawned_once(self):
         """Acceptance: N process-engine extracts through one Extractor
