@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Record the incremental re-extraction baseline (BENCH_incremental.json).
+
+Measures :class:`~repro.core.incremental.IncrementalExtractor` on a
+seeded ``random_mutation_stream`` over the scale-``SCALE`` RMAT-B graph:
+per-update wall-clock (verification excluded from timing) against the
+median cost of a full from-scratch re-extraction of the same graph —
+the figure that motivates the dynamic-graph mode: re-running Algorithm 1
+after every edge flip costs seconds, the incremental path milliseconds.
+
+Quality is recorded alongside speed and the regression guard gates on
+both: after **every** mutation the maintained edge set must be chordal
+and meet the certified floor
+(:func:`~repro.chordality.quality.maximal_chordal_floor`); the full
+maximality certificate (:func:`verify_extraction` with
+``check_maximal=True``, ~20 s per call at this scale) runs at sampled
+checkpoints and on the final state.
+
+The guard (``bench_regression_guard.py``) re-drives a shorter stream and
+fails when updates/sec drop more than 2x below this baseline, when the
+speedup over full re-extraction falls under
+``MIN_INCREMENTAL_SPEEDUP``x, or when any re-driven answer breaks the
+quality gate.
+
+Re-record on a quiet machine after intentional changes:
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+    # or: repro bench --record incremental
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+INCREMENTAL_PATH = Path(__file__).resolve().parent / "BENCH_incremental.json"
+
+#: RMAT-B scale of the mutated graph (the ISSUE's floor is 11).
+SCALE = 11
+GRAPH_SEED = 42
+STREAM_SEED = 7
+NUM_MUTATIONS = 1000
+
+#: Repeats for the full-re-extraction baseline median.
+FULL_REPEATS = 3
+
+#: Run the full maximality certificate every this many mutations (and on
+#: the final state).  ``None`` disables checkpoints (guard mode — the
+#: per-mutation chordality + floor gates still run).
+CHECK_MAXIMAL_EVERY = 250
+
+#: The guard's speed gate: incremental updates/sec must beat full
+#: re-extraction by at least this factor.
+MIN_INCREMENTAL_SPEEDUP = 5.0
+
+#: Shorter stream the guard re-drives (same graph, same stream seed).
+GUARD_MUTATIONS = 200
+
+
+def measure_incremental(
+    scale: int = SCALE,
+    num_mutations: int = NUM_MUTATIONS,
+    check_maximal_every: int | None = CHECK_MAXIMAL_EVERY,
+    full_repeats: int = FULL_REPEATS,
+) -> dict:
+    """Drive a seeded mutation stream; returns speed + quality figures.
+
+    Timing covers only the mutation calls themselves; the full
+    re-extraction baseline, the initial extraction, and all verification
+    run outside the timed region.
+    """
+    from repro import IncrementalExtractor
+    from repro.chordality.quality import maximal_chordal_floor
+    from repro.chordality.recognition import is_chordal
+    from repro.chordality.verify import verify_extraction
+    from repro.core.extract import extract_maximal_chordal_subgraph
+    from repro.graph.builder import from_edge_array
+    from repro.graph.generators import rmat_b
+    from repro.graph.generators.chordal import random_mutation_stream
+    from repro.util.timing import median_of
+
+    graph = rmat_b(scale, seed=GRAPH_SEED)
+    full_seconds = median_of(
+        lambda: extract_maximal_chordal_subgraph(graph, maximalize=True),
+        full_repeats,
+        warmup=False,
+    )
+
+    t0 = time.perf_counter()
+    inc = IncrementalExtractor(graph)
+    init_seconds = time.perf_counter() - t0
+
+    stream = random_mutation_stream(graph, num_mutations, seed=STREAM_SEED)
+    update_seconds = 0.0
+    all_chordal = True
+    all_floor_met = True
+    maximality_checks = 0
+    maximality_ok = True
+    for index, (op, u, v) in enumerate(stream):
+        t0 = time.perf_counter()
+        if op == "insert":
+            inc.insert_edge(u, v)
+        else:
+            inc.delete_edge(u, v)
+        update_seconds += time.perf_counter() - t0
+        # Quality gates, untimed: chordal + floor after every mutation,
+        # the full maximality certificate at checkpoints.
+        subgraph = from_edge_array(inc.num_vertices, inc.edges)
+        current = inc.graph
+        all_chordal &= is_chordal(subgraph)
+        all_floor_met &= inc.edges.shape[0] >= maximal_chordal_floor(current)
+        last = index == num_mutations - 1
+        if check_maximal_every and (index % check_maximal_every == check_maximal_every - 1 or last):
+            maximality_checks += 1
+            maximality_ok &= verify_extraction(
+                current, inc.edges, check_maximal=True
+            ).ok
+
+    per_update = update_seconds / num_mutations
+    return {
+        "scale": scale,
+        "graph_seed": GRAPH_SEED,
+        "stream_seed": STREAM_SEED,
+        "num_mutations": num_mutations,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "updates_per_sec": num_mutations / update_seconds,
+        "per_update_ms": per_update * 1e3,
+        "full_extraction_seconds": full_seconds,
+        "speedup_vs_full": full_seconds / per_update,
+        "init_seconds": init_seconds,
+        "all_chordal": all_chordal,
+        "all_floor_met": all_floor_met,
+        "maximality_checks": maximality_checks,
+        "maximality_ok": maximality_ok,
+        "extractor_stats": dict(inc.stats),
+    }
+
+
+def record(path: Path = INCREMENTAL_PATH) -> dict:
+    measured = measure_incremental()
+    payload = {
+        **measured,
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"incremental: {payload['updates_per_sec']:.1f} updates/s "
+        f"({payload['per_update_ms']:.2f} ms/update) vs full re-extraction "
+        f"{payload['full_extraction_seconds']:.2f} s -> "
+        f"{payload['speedup_vs_full']:.0f}x; chordal={payload['all_chordal']} "
+        f"floor={payload['all_floor_met']} "
+        f"maximal={payload['maximality_ok']} "
+        f"({payload['maximality_checks']} checkpoints) -> {path}"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    record()

@@ -1,7 +1,7 @@
 """Tier-2 guard: fail when a hot path regresses >2x against its baseline
 or an engine's answer quality drops below its recorded baseline.
 
-Five committed baselines are guarded:
+Six committed baselines are guarded:
 
 * ``BENCH_kernels.json`` — per-kernel median wall-clock of every kernel
   registered in ``benchmarks/record_baseline.py``;
@@ -19,7 +19,14 @@ Five committed baselines are guarded:
   mode is a correctness bug, no re-record can excuse it;
 * ``BENCH_service.json`` — ``repro serve`` end-to-end throughput over
   the wire protocol with the recorded number of concurrent clients on
-  the mixed cache/pool/inline workload (``benchmarks/bench_service.py``).
+  the mixed cache/pool/inline workload (``benchmarks/bench_service.py``);
+* ``BENCH_incremental.json`` — incremental re-extraction updates/sec on
+  the seeded mutation stream (``benchmarks/bench_incremental.py``).
+  Gated on speed twice — within 2x of the recorded updates/sec AND at
+  least ``MIN_INCREMENTAL_SPEEDUP``x faster than full re-extraction —
+  and on quality: every re-driven answer must be chordal and meet the
+  certified floor (like the quality baseline, a floor breach is a
+  correctness bug no re-record can excuse).
 
 Not part of tier-1 (``bench_*`` files are not collected by default); run
 explicitly:
@@ -53,6 +60,12 @@ from bench_quality import (
     measure_cell,
     measure_weighted,
     quality_cells,
+)
+from bench_incremental import (
+    GUARD_MUTATIONS,
+    INCREMENTAL_PATH,
+    MIN_INCREMENTAL_SPEEDUP,
+    measure_incremental,
 )
 from bench_service import SERVICE_PATH, measure_service
 from record_baseline import BASELINE_PATH, build_kernels, median_seconds
@@ -123,6 +136,19 @@ _SERVICE_BASELINE, _SERVICE_PROBLEM = _load_guarded_baseline(
     "repro bench --record service",
 )
 
+_INCREMENTAL_BASELINE, _INCREMENTAL_PROBLEM = _load_guarded_baseline(
+    INCREMENTAL_PATH,
+    (
+        "updates_per_sec",
+        "speedup_vs_full",
+        "num_mutations",
+        "all_chordal",
+        "all_floor_met",
+        "maximality_ok",
+    ),
+    "repro bench --record incremental",
+)
+
 
 @pytest.fixture(scope="module")
 def kernels():
@@ -137,6 +163,7 @@ def kernels():
         pytest.param(_ASYNC_PROBLEM, id="async"),
         pytest.param(_QUALITY_PROBLEM, id="quality"),
         pytest.param(_SERVICE_PROBLEM, id="service"),
+        pytest.param(_INCREMENTAL_PROBLEM, id="incremental"),
     ],
 )
 def test_guarded_baseline_wellformed(problem):
@@ -295,4 +322,57 @@ def test_service_throughput_not_regressed():
         f"baseline {baseline_rps:.1f} req/s ({ratio:.2f}x slower > "
         f"{MAX_REGRESSION}x); if intentional, re-record with "
         "`repro bench --record service`"
+    )
+
+
+@pytest.mark.skipif(
+    _INCREMENTAL_PROBLEM is not None, reason="baseline problem reported above"
+)
+def test_incremental_recorded_baseline_meets_gates():
+    """The committed baseline itself must show the acceptance figures:
+    >= MIN_INCREMENTAL_SPEEDUP x over full re-extraction with every
+    recorded answer chordal, floor-met, and maximality-certified."""
+    assert _INCREMENTAL_BASELINE["speedup_vs_full"] >= MIN_INCREMENTAL_SPEEDUP, (
+        f"BENCH_incremental.json records only "
+        f"{_INCREMENTAL_BASELINE['speedup_vs_full']:.1f}x over full "
+        f"re-extraction (acceptance floor {MIN_INCREMENTAL_SPEEDUP}x); "
+        "the incremental path has lost its reason to exist — fix it, "
+        "then re-record with `repro bench --record incremental`"
+    )
+    for key in ("all_chordal", "all_floor_met", "maximality_ok"):
+        assert _INCREMENTAL_BASELINE[key] is True, (
+            f"BENCH_incremental.json has {key}={_INCREMENTAL_BASELINE[key]} "
+            "— a recorded quality breach is a correctness bug, not a "
+            "baseline to tolerate"
+        )
+
+
+@pytest.mark.skipif(
+    _INCREMENTAL_PROBLEM is not None, reason="baseline problem reported above"
+)
+def test_incremental_updates_not_regressed():
+    """Re-drive a shorter prefix of the recorded stream: updates/sec must
+    stay within 2x of the baseline, the speedup over full re-extraction
+    must hold, and every answer must pass the quality gate (chordal +
+    certified floor — checked after each of the re-driven mutations)."""
+    current = measure_incremental(
+        num_mutations=GUARD_MUTATIONS,
+        check_maximal_every=None,
+        full_repeats=1,
+    )
+    assert current["all_chordal"] and current["all_floor_met"], (
+        "incremental re-drive produced a non-chordal or floor-breaching "
+        "answer — this is a correctness bug, not a speed regression"
+    )
+    assert current["speedup_vs_full"] >= MIN_INCREMENTAL_SPEEDUP, (
+        f"incremental updates are only {current['speedup_vs_full']:.1f}x "
+        f"faster than full re-extraction (gate {MIN_INCREMENTAL_SPEEDUP}x)"
+    )
+    baseline_ups = _INCREMENTAL_BASELINE["updates_per_sec"]
+    ratio = baseline_ups / max(current["updates_per_sec"], 1e-9)
+    assert ratio <= MAX_REGRESSION, (
+        f"incremental throughput: {current['updates_per_sec']:.1f} "
+        f"updates/s vs baseline {baseline_ups:.1f} ({ratio:.2f}x slower > "
+        f"{MAX_REGRESSION}x); if intentional, re-record with "
+        "`repro bench --record incremental`"
     )

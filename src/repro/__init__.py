@@ -35,6 +35,7 @@ from repro.core import (
     ChordalResult,
     ExtractionConfig,
     Extractor,
+    IncrementalExtractor,
     EngineSpec,
     register_engine,
     get_engine,
@@ -85,6 +86,7 @@ __all__ = [
     "ChordalResult",
     "ExtractionConfig",
     "Extractor",
+    "IncrementalExtractor",
     "EngineSpec",
     "register_engine",
     "get_engine",

@@ -27,6 +27,11 @@ Subcommands
     extract --verify`` for outputs produced earlier or elsewhere.
 ``generate``
     Write an R-MAT / random / chordal family graph to file (or stdout).
+``mutate``
+    Dynamic graphs: load a graph, extract once, then maintain the
+    maximal chordal subgraph *incrementally* across an edge-mutation
+    stream (:class:`repro.core.incremental.IncrementalExtractor`) and
+    write the final chordal edge set.
 ``serve``
     Run the extraction service (:mod:`repro.service`): a daemon owning
     warm worker pools behind a unix socket (and/or TCP), with an
@@ -36,7 +41,8 @@ Subcommands
     One-command performance *and quality* guard: runs
     ``benchmarks/bench_regression_guard.py`` (the 2x kernel-regression
     gate plus the BENCH_quality.json retained-edge gate), or re-records
-    a baseline with ``--record {kernels,batch,async,quality,service,all}``.
+    a baseline with ``--record
+    {kernels,batch,async,quality,service,incremental,all}``.
 ``experiments``
     Delegates to :mod:`repro.experiments.runner` (tables and figures).
 
@@ -345,6 +351,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the protocol's shutdown op (stop via signals only)",
     )
 
+    mut = sub.add_parser(
+        "mutate",
+        help="incrementally re-extract over an edge-mutation stream",
+        description="Load a graph, run one full extraction, then apply an "
+        "edge-mutation stream while maintaining a maximal chordal subgraph "
+        "incrementally (IncrementalExtractor — inserts are a localized "
+        "addability test, deletes repair holes around the deletion site); "
+        "write the final chordal edge set.",
+    )
+    mut.add_argument(
+        "graph", help="input graph file; '-' reads an edge list from stdin"
+    )
+    mut.add_argument(
+        "mutations",
+        help="mutation stream file ('-' = stdin): one 'OP U V' per line "
+        "with OP in insert/+/delete/-; '#' starts a comment",
+    )
+    mut.add_argument(
+        "-o", "--output", default="-", help="output path ('-' = stdout)"
+    )
+    mut.add_argument(
+        "--input-format",
+        choices=FORMATS,
+        default=None,
+        help="graph file format (default: auto-detect)",
+    )
+    mut.add_argument(
+        "--output-format",
+        choices=("edgelist", "mtx", "metis", "npz"),
+        default=None,
+        help="output format (default: by output extension, else edgelist)",
+    )
+    mut.add_argument(
+        "--engine",
+        choices=tuple(e.name for e in engines),
+        default="superstep",
+        help="engine for the initial extraction and full rebuilds",
+    )
+    mut.add_argument("--variant", choices=VARIANTS, default="optimized")
+    mut.add_argument(
+        "--full-rebuild-threshold",
+        type=int,
+        default=64,
+        help="fall back to a full re-extraction when one deletion's hole "
+        "repair evicts more than this many retained edges (default 64)",
+    )
+    mut.add_argument(
+        "--verify",
+        action="store_true",
+        help="certify the final result (chordal + maximal); exit 3 on failure",
+    )
+    mut.add_argument(
+        "--verify-each",
+        action="store_true",
+        help="certify after every mutation (slow); exit 3 on first failure",
+    )
+    mut.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the stats line on stderr"
+    )
+
     be = sub.add_parser(
         "bench",
         help="run the kernel regression guard / record baselines",
@@ -357,13 +423,17 @@ def build_parser() -> argparse.ArgumentParser:
         "'async' (the asynchronous-schedule baseline, BENCH_async.json), "
         "'quality' (the answer-quality baseline, BENCH_quality.json), "
         "'service' (the serve-daemon throughput baseline, "
-        "BENCH_service.json), or 'all'.",
+        "BENCH_service.json), 'incremental' (the dynamic-graph updates/sec "
+        "baseline, BENCH_incremental.json), or 'all'.",
     )
     be.add_argument(
         "--record",
         nargs="?",
         const="kernels",
-        choices=("kernels", "batch", "async", "quality", "service", "all"),
+        choices=(
+            "kernels", "batch", "async", "quality", "service",
+            "incremental", "all",
+        ),
         default=None,
         help="re-record a baseline (bare --record means 'kernels', its "
         "historical meaning)",
@@ -659,6 +729,109 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_mutations(source: str) -> list[tuple[str, int, int]]:
+    """Parse a mutation-stream file: one ``OP U V`` per line (``OP`` in
+    ``insert``/``+``/``delete``/``-``), ``#`` comments, blank lines
+    skipped."""
+    fh = sys.stdin if source == "-" else open(source, "r", encoding="utf-8")
+    name = "<stdin>" if source == "-" else source
+    try:
+        ops: list[tuple[str, int, int]] = []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ReproError(
+                    f"{name}:{lineno}: expected 'OP U V', got {line!r}"
+                )
+            op, u, v = parts
+            if op not in ("insert", "+", "delete", "-"):
+                raise ReproError(
+                    f"{name}:{lineno}: unknown op {op!r} "
+                    "(expected insert/+/delete/-)"
+                )
+            try:
+                ops.append((op, int(u), int(v)))
+            except ValueError:
+                raise ReproError(
+                    f"{name}:{lineno}: endpoints must be integers, got {line!r}"
+                ) from None
+        return ops
+    finally:
+        if source != "-":
+            fh.close()
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.chordality.verify import verify_extraction
+    from repro.core.incremental import IncrementalExtractor
+
+    if args.graph == "-" and args.mutations == "-":
+        print(
+            "repro mutate: error: only one of graph/mutations can read stdin",
+            file=sys.stderr,
+        )
+        return 2
+    if args.graph == "-":
+        graph, name = _read_stdin(args.input_format), "<stdin>"
+    else:
+        graph, name = load_graph(args.graph, format=args.input_format), args.graph
+    ops = _read_mutations(args.mutations)
+    config = ExtractionConfig(
+        engine=args.engine, variant=args.variant, maximalize=True
+    )
+    extractor = IncrementalExtractor(
+        graph, config=config, full_rebuild_threshold=args.full_rebuild_threshold
+    )
+    retained = 0
+    with Timer() as timer:
+        if args.verify_each:
+            for index, (op, u, v) in enumerate(ops):
+                counts = extractor.apply_batch([(op, u, v)])
+                retained += counts["retained"]
+                report = verify_extraction(
+                    extractor.graph, extractor.edges, check_maximal=True
+                )
+                if not report.ok:
+                    print(
+                        f"repro mutate: verification failed after mutation "
+                        f"#{index} ({op} {u} {v}): {report}",
+                        file=sys.stderr,
+                    )
+                    return 3
+        else:
+            counts = extractor.apply_batch(ops)
+            retained = counts["retained"]
+    if args.verify and not args.verify_each:
+        report = verify_extraction(
+            extractor.graph, extractor.edges, check_maximal=True
+        )
+        if not report.ok:
+            print(
+                f"repro mutate: verification failed for {name}: {report}",
+                file=sys.stderr,
+            )
+            return 3
+    result = extractor.result()
+    _write_result(result, args.output, args.output_format)
+    if not args.quiet:
+        rate = len(ops) / timer.elapsed if timer.elapsed > 0 else float("inf")
+        verified = (
+            " verified=chordal,maximal" if args.verify or args.verify_each else ""
+        )
+        print(
+            f"{name}: n={extractor.num_vertices} m={extractor.num_edges} "
+            f"chordal={extractor.num_chordal_edges} "
+            f"mutations={len(ops)} retained_inserts={retained} "
+            f"rebuilds={extractor.stats['full_rebuilds']} "
+            f"({rate:.0f} updates/s){verified} [{timer.elapsed:.3f}s]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = _FAMILIES[args.family][0](args)
     if args.output == "-":
@@ -675,6 +848,7 @@ _RECORDERS = {
     "async": "bench_async_process",
     "quality": "bench_quality",
     "service": "bench_service",
+    "incremental": "bench_incremental",
 }
 
 
@@ -699,7 +873,7 @@ def _resolve_record_target(args: argparse.Namespace) -> str | None:
     if len(requested) > 1:
         raise ReproError(
             f"conflicting record flags {requested}; pass a single "
-            "--record {kernels,batch,async,quality,all}"
+            "--record {kernels,batch,async,quality,service,incremental,all}"
         )
     return requested[0] if requested else None
 
@@ -781,6 +955,7 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "verify": _cmd_verify,
     "generate": _cmd_generate,
+    "mutate": _cmd_mutate,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
     "experiments": _cmd_experiments,

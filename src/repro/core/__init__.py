@@ -51,6 +51,7 @@ from repro.core.extract import (
     SCHEDULES,
 )
 from repro.core.session import Extractor
+from repro.core.incremental import IncrementalExtractor
 from repro.core.maximalize import maximalize_chordal_edges
 from repro.core.procpool import ProcessPool, process_max_chordal
 from repro.core.reference import reference_max_chordal
@@ -72,6 +73,7 @@ __all__ = [
     "ChordalResult",
     "ExtractionConfig",
     "Extractor",
+    "IncrementalExtractor",
     "Engine",
     "EngineSpec",
     "register_engine",

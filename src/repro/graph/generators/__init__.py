@@ -36,6 +36,8 @@ from repro.graph.generators.chordal import (
     partial_ktree,
     random_chordal,
     interval_graph,
+    chordal_mutation_stream,
+    random_mutation_stream,
 )
 from repro.graph.generators.bio import (
     correlation_network,
@@ -66,6 +68,8 @@ __all__ = [
     "partial_ktree",
     "random_chordal",
     "interval_graph",
+    "chordal_mutation_stream",
+    "random_mutation_stream",
     "RMATParams",
     "rmat_graph",
     "rmat_er",

@@ -233,35 +233,78 @@ def write_metis(graph: CSRGraph, path: str | os.PathLike | io.TextIOBase) -> Non
 
 
 def read_metis(path: str | os.PathLike | io.TextIOBase) -> CSRGraph:
-    """Read a METIS-format graph (plain unweighted variant only).
+    """Read a METIS-format graph (topology only).
 
-    Validates the header counts; comment lines start with ``%``.
+    Accepts the plain unweighted format plus the vertex-weighted
+    variants (fmt codes ``10`` / ``11``, and ``100``/``110`` with vertex
+    sizes): vertex sizes/weights — ``ncon`` per vertex — are skipped,
+    and for fmt ``11`` the edge weights interleaved with the adjacency
+    are skipped too, keeping the topology.  Edge-weight-*only* files
+    (fmt ``1`` / ``01``) are rejected with an error naming the fmt
+    field.  Comment lines start with ``%``; trailing blank lines are
+    tolerated (a blank line *within* the first ``n`` rows is an isolated
+    vertex, per the format).
     """
     own = isinstance(path, (str, os.PathLike))
     fh = _open_text(path, "r") if own else path
     try:
         header: list[int] | None = None
+        skip = 0
+        has_ewgt = False
         rows: list[list[int]] = []
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if line.startswith("%"):
                 continue
             if header is None:
+                if not line:
+                    continue  # leading blank lines before the header
                 parts = line.split()
                 if len(parts) < 2:
                     raise GraphFormatError(
                         f"line {lineno}: METIS header needs 'n m', got {line!r}"
                     )
-                if len(parts) >= 3 and parts[2] not in ("0", "00", "000"):
+                fmt = parts[2] if len(parts) >= 3 else "0"
+                if len(fmt) > 3 or any(ch not in "01" for ch in fmt):
                     raise GraphFormatError(
-                        "weighted METIS graphs are not supported"
+                        f"line {lineno}: malformed METIS fmt field {fmt!r}"
                     )
+                has_vsize, has_vwgt, has_ewgt = (
+                    ch == "1" for ch in fmt.zfill(3)
+                )
+                if has_ewgt and not has_vwgt:
+                    raise GraphFormatError(
+                        f"line {lineno}: METIS fmt field {fmt!r} declares "
+                        "edge weights, which are not supported (vertex-"
+                        "weighted graphs are read topology-only)"
+                    )
+                ncon = int(parts[3]) if len(parts) >= 4 else 1
+                skip = (1 if has_vsize else 0) + (ncon if has_vwgt else 0)
                 header = [int(parts[0]), int(parts[1])]
                 continue
-            rows.append([int(tok) - 1 for tok in line.split()])
+            tokens = line.split()
+            if not tokens:
+                rows.append([])  # isolated vertex (or a trailing blank)
+                continue
+            if len(tokens) < skip:
+                raise GraphFormatError(
+                    f"line {lineno}: vertex row has {len(tokens)} tokens "
+                    f"but the fmt field requires {skip} weight tokens"
+                )
+            tokens = tokens[skip:]
+            if has_ewgt:
+                if len(tokens) % 2:
+                    raise GraphFormatError(
+                        f"line {lineno}: fmt declares edge weights but the "
+                        "row has an odd number of neighbor/weight tokens"
+                    )
+                tokens = tokens[0::2]
+            rows.append([int(tok) - 1 for tok in tokens])
         if header is None:
             raise GraphFormatError("empty METIS file (missing header)")
         n, m = header
+        while len(rows) > n and not rows[-1]:
+            rows.pop()  # trailing blank lines
         if len(rows) < n:
             rows.extend([[] for _ in range(n - len(rows))])
         elif len(rows) > n:

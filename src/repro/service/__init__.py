@@ -21,6 +21,12 @@ Modules
     :class:`ServiceClient` — the blocking client the CLI's ``--server``
     flag uses; one socket, sequential framed requests.
 
+Dynamic graphs: ``client.mutate(graph=g)`` opens a per-connection
+incremental session (:class:`~repro.core.incremental.IncrementalExtractor`
+server-side); ``client.mutate(ops=[("insert", u, v), ...])`` applies
+edge mutations and returns the maintained maximal chordal edge set,
+while the server evicts exactly the pre-mutation graph's cache keys.
+
 Quickstart::
 
     repro serve --socket /tmp/repro.sock --pools 2 --num-workers 4 &
@@ -34,7 +40,7 @@ or in Python::
         assert again.cached and (again.edges == result.edges).all()
 """
 
-from repro.service.client import ServiceClient, ServiceResult
+from repro.service.client import MutateResult, ServiceClient, ServiceResult
 from repro.service.protocol import ERROR_CODES, ProtocolError, ServiceError
 from repro.service.server import ReproServer, ServiceConfig
 
@@ -43,6 +49,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceClient",
     "ServiceResult",
+    "MutateResult",
     "ServiceError",
     "ProtocolError",
     "ERROR_CODES",

@@ -30,7 +30,7 @@ from repro.graph.ops import edge_subgraph
 from repro.service import protocol
 from repro.service.protocol import ProtocolError, ServiceError
 
-__all__ = ["ServiceClient", "ServiceResult"]
+__all__ = ["ServiceClient", "ServiceResult", "MutateResult"]
 
 
 @dataclass
@@ -66,6 +66,32 @@ class ServiceResult:
         if self._subgraph is None:
             self._subgraph = edge_subgraph(self.graph, self.edges)
         return self._subgraph
+
+
+@dataclass
+class MutateResult:
+    """One successful ``mutate`` response, decoded.
+
+    ``edges`` is the session's current maximal chordal edge set;
+    ``session`` is ``"opened"`` (this request shipped a graph) or
+    ``"continued"``.  ``applied`` carries the batch counts
+    (``{"applied", "inserted", "retained", "deleted"}``) when ops were
+    sent, else ``None``.  ``invalidated`` counts the cache entries the
+    server evicted for the pre-mutation graph content.
+    """
+
+    edges: np.ndarray
+    session: str
+    num_vertices: int
+    num_graph_edges: int
+    applied: dict[str, int] | None
+    invalidated: int
+    content_hash: str | None
+    verified: bool = False
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
 
 
 class ServiceClient:
@@ -213,5 +239,47 @@ class ServiceClient:
             num_iterations=int(response.get("num_iterations", 0)),
             maximality_gap=int(response.get("maximality_gap", 0)),
             stitched_bridges=int(response.get("stitched_bridges", 0)),
+            verified=bool(response.get("verified", False)),
+        )
+
+    def mutate(
+        self,
+        *,
+        graph: CSRGraph | None = None,
+        ops: list[tuple[str, int, int]] | None = None,
+        config: dict[str, Any] | None = None,
+        verify: bool = False,
+        binary: bool = True,
+    ) -> MutateResult:
+        """Open or advance this connection's incremental session.
+
+        Pass ``graph`` to open (or replace) the session — ``config`` is
+        only legal alongside it; pass ``ops`` (``(op, u, v)`` triples,
+        ``op`` in ``("insert", "+", "delete", "-")``) to mutate the
+        session's graph.  Both may be combined.  Sessions are
+        per-connection: they end when the client closes.
+        """
+        request: dict[str, Any] = {"op": "mutate"}
+        if graph is not None:
+            request["graph"] = protocol.encode_graph(graph, binary=binary)
+        if config:
+            request["config"] = dict(config)
+        if ops is not None:
+            request["ops"] = [[op, int(u), int(v)] for op, u, v in ops]
+        if verify:
+            request["verify"] = True
+        response = self._request(request)
+        try:
+            edges = protocol.decode_edges(response)
+        except ProtocolError as exc:  # pragma: no cover - server bug guard
+            raise ReproError(f"undecodable mutate response: {exc}") from exc
+        return MutateResult(
+            edges=edges,
+            session=str(response.get("session", "")),
+            num_vertices=int(response.get("num_vertices", 0)),
+            num_graph_edges=int(response.get("num_graph_edges", 0)),
+            applied=response.get("applied"),
+            invalidated=int(response.get("invalidated", 0)),
+            content_hash=response.get("content_hash"),
             verified=bool(response.get("verified", False)),
         )

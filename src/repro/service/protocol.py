@@ -20,6 +20,14 @@ Requests (client -> server), one JSON object each::
     {"op": "shutdown"}
     {"op": "extract", "graph": <graph>, "config": {...}, "timeout": 5.0,
      "verify": false, "no_cache": false}
+    {"op": "mutate", "graph": <graph>?, "config": {...}?,
+     "ops": [["insert", 0, 1], ["delete", 2, 3], ...]?, "verify": false}
+
+``mutate`` is PATCH-style: a request carrying ``graph`` opens (or
+replaces) the connection's incremental session (``config`` is only
+legal there); later requests on the same connection carry only ``ops``
+(see :func:`decode_mutations`).  Every applied batch invalidates
+exactly the pre-mutation graph's cache keys on the server.
 
 Graph payloads come in two interchangeable shapes (see
 :func:`encode_graph` / :func:`decode_graph`):
@@ -83,6 +91,8 @@ __all__ = [
     "encode_edges",
     "decode_edges",
     "decode_config",
+    "decode_mutations",
+    "MUTATION_OPS",
     "decode_timeout",
     "graph_content_hash",
     "config_cache_key",
@@ -540,6 +550,55 @@ def decode_timeout(value: Any, default: float) -> float:
             code=BAD_REQUEST,
         )
     return timeout
+
+
+# ---------------------------------------------------------------------------
+# Mutation payloads (op=mutate)
+
+#: Edge-mutation op spellings accepted on the wire (PATCH-style).
+MUTATION_OPS = ("insert", "+", "delete", "-")
+
+
+def decode_mutations(payload: Any) -> list[tuple[str, int, int]]:
+    """Decode a mutate request's ``ops`` field: a list of
+    ``[op, u, v]`` triples with ``op`` one of :data:`MUTATION_OPS`.
+
+    ``None`` decodes to the empty list (a mutate request may open a
+    session without mutating it).  :class:`ProtocolError`
+    (``BAD_REQUEST``) on any malformed entry.
+    """
+    if payload is None:
+        return []
+    if not isinstance(payload, (list, tuple)):
+        raise ProtocolError(
+            f"ops must be a list of [op, u, v] triples, "
+            f"got {type(payload).__name__}",
+            code=BAD_REQUEST,
+        )
+    mutations: list[tuple[str, int, int]] = []
+    for index, row in enumerate(payload):
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            raise ProtocolError(
+                f"ops[{index}] must be an [op, u, v] triple, got {row!r}",
+                code=BAD_REQUEST,
+            )
+        op, u, v = row
+        if op not in MUTATION_OPS:
+            raise ProtocolError(
+                f"ops[{index}]: unknown op {op!r}; expected one of "
+                f"{MUTATION_OPS}",
+                code=BAD_REQUEST,
+            )
+        if (
+            not isinstance(u, int) or isinstance(u, bool)
+            or not isinstance(v, int) or isinstance(v, bool)
+        ):
+            raise ProtocolError(
+                f"ops[{index}]: endpoints must be integers, got {row!r}",
+                code=BAD_REQUEST,
+            )
+        mutations.append(("insert" if op in ("insert", "+") else "delete", u, v))
+    return mutations
 
 
 # ---------------------------------------------------------------------------

@@ -77,6 +77,7 @@ from repro.service.protocol import (
     BAD_REQUEST,
     BUSY,
     INTERNAL,
+    INVALID_CONFIG,
     SHUTTING_DOWN,
     TIMEOUT,
     VERIFY_FAILED,
@@ -152,13 +153,21 @@ class ResultCache:
     answer.  Both ceilings (entry count and total byte size) hold after
     every insert; an entry larger than ``max_bytes`` is simply not
     cached.
+
+    Each entry also carries a *verified* bit (:meth:`is_verified` /
+    :meth:`mark_verified`): once an answer has passed
+    ``verify_extraction`` for its (graph, config) identity, no later
+    ``verify=True`` request re-runs the check — verification happens at
+    most once per cached entry.  :meth:`invalidate_graph` drops every
+    entry whose key belongs to one graph content hash (the targeted
+    eviction behind service mutation sessions).
     """
 
     def __init__(self, max_entries: int, max_bytes: int) -> None:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple, tuple[bytes, dict]] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[bytes, dict, bool]] = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -172,11 +181,13 @@ class ResultCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            raw, meta = entry
+            raw, meta, _verified = entry
         edges = np.frombuffer(raw, dtype="<i8").reshape(-1, 2)
         return edges, dict(meta)
 
-    def put(self, key: tuple, edges: np.ndarray, meta: dict) -> None:
+    def put(
+        self, key: tuple, edges: np.ndarray, meta: dict, *, verified: bool = False
+    ) -> None:
         raw = np.ascontiguousarray(edges, dtype="<i8").tobytes()
         if len(raw) > self.max_bytes or self.max_entries == 0:
             return
@@ -184,15 +195,41 @@ class ResultCache:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= len(old[0])
-            self._entries[key] = (raw, dict(meta))
+            self._entries[key] = (raw, dict(meta), verified)
             self._bytes += len(raw)
             while (
                 len(self._entries) > self.max_entries
                 or self._bytes > self.max_bytes
             ):
-                _, (dropped, _meta) = self._entries.popitem(last=False)
+                _, (dropped, _meta, _verified) = self._entries.popitem(last=False)
                 self._bytes -= len(dropped)
                 self.evictions += 1
+
+    def is_verified(self, key: tuple) -> bool:
+        """True when the entry exists and has already passed verification
+        (no LRU promotion, no hit/miss accounting)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry[2]
+
+    def mark_verified(self, key: tuple) -> None:
+        """Set the verified bit on an existing entry (no-op when the
+        entry was evicted in the meantime)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and not entry[2]:
+                self._entries[key] = (entry[0], entry[1], True)
+
+    def invalidate_graph(self, content_hash: str) -> int:
+        """Drop every entry cached for ``content_hash`` (the first key
+        component); returns the number of entries evicted."""
+        with self._lock:
+            doomed = [k for k in self._entries if k and k[0] == content_hash]
+            for k in doomed:
+                raw, _meta, _verified = self._entries.pop(k)
+                self._bytes -= len(raw)
+                self.evictions += 1
+        return len(doomed)
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -215,20 +252,37 @@ class _PendingRequest:
     expired / client gone); first writer wins, the other side discards.
     """
 
-    __slots__ = ("graph", "config", "cache_key", "no_cache", "verify",
+    __slots__ = ("graph", "config", "cache_key", "no_cache",
                  "deadline", "lock", "event", "state", "response")
 
-    def __init__(self, graph, config, cache_key, no_cache, verify, deadline):
+    def __init__(self, graph, config, cache_key, no_cache, deadline):
         self.graph: CSRGraph = graph
         self.config: ExtractionConfig = config
         self.cache_key = cache_key
         self.no_cache: bool = no_cache
-        self.verify: bool = verify
         self.deadline: float = deadline
         self.lock = threading.Lock()
         self.event = threading.Event()
         self.state = "queued"
         self.response: dict[str, Any] | None = None
+
+
+class _MutateSession:
+    """Per-connection incremental-extraction state.
+
+    A ``mutate`` request with a ``graph`` payload opens (or replaces)
+    the connection's session; later ``mutate`` requests on the same
+    connection carry only edge ops.  ``content_hash`` tracks the hash of
+    the *current* graph so each applied batch can invalidate exactly the
+    mutated graph's cache keys (targeted eviction, not a cold flush).
+    Owned by a single connection thread — no locking.
+    """
+
+    __slots__ = ("extractor", "content_hash")
+
+    def __init__(self) -> None:
+        self.extractor = None  # IncrementalExtractor | None
+        self.content_hash: str | None = None
 
 
 class ReproServer:
@@ -262,6 +316,9 @@ class ReproServer:
             "pool_rebuilds": 0,
             "protocol_errors": 0,
             "connections": 0,
+            "verifications": 0,
+            "mutations": 0,
+            "cache_invalidations": 0,
         }
         self._stopping = threading.Event()
         self._stopped = threading.Event()
@@ -453,6 +510,7 @@ class ReproServer:
 
     def _connection_loop(self, conn: socket.socket) -> None:
         conn.settimeout(_POLL_SECONDS)
+        session = _MutateSession()
         try:
             while not self._stopping.is_set():
                 try:
@@ -472,7 +530,7 @@ class ReproServer:
                 if request is None:  # clean EOF
                     return
                 self._bump("requests")
-                response = self._handle_request(request)
+                response = self._handle_request(request, session)
                 if response is None:  # shutdown op: reply sent inside
                     return
                 if not self._send(conn, response):
@@ -510,7 +568,11 @@ class ReproServer:
 
     # -- request handling ------------------------------------------------
 
-    def _handle_request(self, request: dict[str, Any]) -> dict[str, Any] | None:
+    def _handle_request(
+        self,
+        request: dict[str, Any],
+        session: _MutateSession | None = None,
+    ) -> dict[str, Any] | None:
         try:
             op = request.get("op")
             if op == "ping":
@@ -528,10 +590,14 @@ class ReproServer:
                 return self._handle_shutdown()
             if op == "extract":
                 return self._handle_extract(request)
+            if op == "mutate":
+                return self._handle_mutate(
+                    request, session if session is not None else _MutateSession()
+                )
             return error_response(
                 BAD_REQUEST,
                 f"unknown op {op!r}; expected one of "
-                "('ping', 'stats', 'extract', 'shutdown')",
+                "('ping', 'stats', 'extract', 'mutate', 'shutdown')",
             )
         except ProtocolError as exc:
             return error_response(exc.code, str(exc))
@@ -589,14 +655,24 @@ class ReproServer:
             if hit is not None:
                 edges, meta = hit
                 self._bump("cache_hits")
-                return self._success(
+                # Verify-once: the verified bit lives with the entry, so
+                # repeat hits never re-run verify_extraction.
+                if verify and not self.cache.is_verified(cache_key):
+                    failure = self._verify_failure(graph, edges, resolved)
+                    if failure is not None:
+                        return failure
+                    self.cache.mark_verified(cache_key)
+                response = self._success(
                     graph, resolved, edges, meta,
-                    cached=True, served_by="cache", pool=None, verify=verify,
+                    cached=True, served_by="cache", pool=None,
                 )
+                if verify:
+                    response["verified"] = True
+                return response
 
         pending = _PendingRequest(
             graph, config, None if no_cache else cache_key,
-            no_cache, False, time.monotonic() + timeout,
+            no_cache, time.monotonic() + timeout,
         )
         try:
             self._queue.put_nowait(pending)
@@ -621,14 +697,122 @@ class ReproServer:
                 TIMEOUT, f"request exceeded its {timeout:g}s deadline"
             )
         if response.get("ok") and verify:
-            failure = self._verify_failure(
-                graph, protocol.decode_edges(response), resolved
-            )
-            if failure is not None:
-                return failure
+            # A concurrent request for the same (graph, config) may have
+            # verified the freshly cached entry already; only verify when
+            # the entry (if any) does not carry the bit yet.
+            if not (
+                pending.cache_key is not None
+                and self.cache.is_verified(pending.cache_key)
+            ):
+                failure = self._verify_failure(
+                    graph, protocol.decode_edges(response), resolved
+                )
+                if failure is not None:
+                    return failure
+                if pending.cache_key is not None:
+                    self.cache.mark_verified(pending.cache_key)
             response = dict(response)
             response["verified"] = True
         return response
+
+    def _handle_mutate(
+        self, request: dict[str, Any], session: _MutateSession
+    ) -> dict[str, Any]:
+        """PATCH-style incremental re-extraction.
+
+        ``{"op": "mutate", "graph": ...}`` opens (or replaces) the
+        connection's session; ``{"op": "mutate", "ops": [[op, u, v],
+        ...]}`` mutates it.  Both may be combined in one request.  Each
+        applied batch evicts exactly the *pre-mutation* graph's cache
+        keys (its content is no longer this session's graph), leaving
+        unrelated entries warm.
+        """
+        if self._stopping.is_set():
+            return error_response(
+                SHUTTING_DOWN, "server is draining; no new requests admitted"
+            )
+        unknown = set(request) - {"op", "graph", "config", "ops", "verify"}
+        if unknown:
+            return error_response(
+                BAD_REQUEST, f"unknown request field(s) {sorted(unknown)}"
+            )
+        ops = protocol.decode_mutations(request.get("ops"))
+        verify = bool(request.get("verify", False))
+        if "graph" in request:
+            graph = protocol.decode_graph(request["graph"])
+            config = protocol.decode_config(request.get("config"))
+            from repro.core.incremental import IncrementalExtractor
+
+            try:
+                session.extractor = IncrementalExtractor(graph, config=config)
+            except ConfigError as exc:
+                session.extractor = None
+                session.content_hash = None
+                return error_response(INVALID_CONFIG, str(exc))
+            session.content_hash = protocol.graph_content_hash(graph)
+            opened = True
+        else:
+            if "config" in request:
+                return error_response(
+                    BAD_REQUEST,
+                    "'config' is only accepted when opening a mutate "
+                    "session with a 'graph' payload",
+                )
+            if session.extractor is None:
+                return error_response(
+                    BAD_REQUEST,
+                    "no open mutate session on this connection; send a "
+                    "'graph' payload first",
+                )
+            opened = False
+        applied = None
+        invalidated = 0
+        if ops:
+            try:
+                applied = session.extractor.apply_batch(ops)
+            except ValueError as exc:
+                # Ops before the offending one were applied: keep the
+                # cache coherent with the session graph before bailing.
+                invalidated = self._invalidate_session(session)
+                response = error_response(BAD_REQUEST, f"mutation rejected: {exc}")
+                response["invalidated"] = invalidated
+                return response
+            self._bump("mutations", applied["applied"])
+            invalidated = self._invalidate_session(session)
+        edges = session.extractor.edges
+        response = {
+            "ok": True,
+            "session": "opened" if opened else "continued",
+            "num_vertices": session.extractor.num_vertices,
+            "num_graph_edges": session.extractor.num_edges,
+            "applied": applied,
+            "invalidated": invalidated,
+            "content_hash": session.content_hash,
+            **protocol.encode_edges(edges),
+        }
+        if verify:
+            from repro.chordality.verify import verify_extraction
+
+            self._bump("verifications")
+            report = verify_extraction(
+                session.extractor.graph, edges, check_maximal=True
+            )
+            if not report.ok:
+                return error_response(VERIFY_FAILED, str(report))
+            response["verified"] = True
+        return response
+
+    def _invalidate_session(self, session: _MutateSession) -> int:
+        """Evict the session's pre-mutation cache keys and rehash."""
+        evicted = 0
+        if session.content_hash is not None:
+            evicted = self.cache.invalidate_graph(session.content_hash)
+            if evicted:
+                self._bump("cache_invalidations", evicted)
+        session.content_hash = protocol.graph_content_hash(
+            session.extractor.graph
+        )
+        return evicted
 
     def _success(
         self,
@@ -640,13 +824,8 @@ class ReproServer:
         cached: bool,
         served_by: str,
         pool: int | None,
-        verify: bool,
     ) -> dict[str, Any]:
-        if verify:
-            failure = self._verify_failure(graph, edges, resolved)
-            if failure is not None:
-                return failure
-        response = {
+        return {
             "ok": True,
             "cached": cached,
             "served_by": served_by,
@@ -656,15 +835,13 @@ class ReproServer:
             **meta,
             **protocol.encode_edges(edges),
         }
-        if verify:
-            response["verified"] = True
-        return response
 
     def _verify_failure(
         self, graph: CSRGraph, edges: np.ndarray, resolved: ExtractionConfig
     ) -> dict[str, Any] | None:
         from repro.chordality.verify import verify_extraction
 
+        self._bump("verifications")
         report = verify_extraction(
             graph, edges, check_maximal=resolved.maximalize
         )
@@ -728,7 +905,6 @@ class ReproServer:
             pending.graph, resolved, edges, meta,
             cached=False, served_by=served_by,
             pool=idx if served_by == "pool" else None,
-            verify=False,
         )
 
     def _run_extraction(

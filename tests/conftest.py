@@ -13,6 +13,9 @@ Markers (registered here so ``--strict-markers`` stays viable):
   daemon (worker SIGKILL, client kill, queue saturation, drain);
   skipped unless ``--run-service-stress`` (or ``-m ... service_stress
   ...``) is given.
+* ``incremental_stress`` — long seeded mutation streams verified after
+  every event (``IncrementalExtractor``); skipped unless
+  ``--run-incremental-stress`` (or ``-m ... incremental_stress ...``).
 
 Tier-1 (``pytest -x -q``) therefore stays fast; the marked sweeps are the
 tier-2 deep end (see ``tests/README.md``).
@@ -45,6 +48,11 @@ _OPTIONAL_MARKERS = {
     "service_stress": (
         "--run-service-stress",
         "extraction-service fault injection; skipped unless --run-service-stress",
+    ),
+    "incremental_stress": (
+        "--run-incremental-stress",
+        "long seeded mutation streams for the incremental extractor; "
+        "skipped unless --run-incremental-stress",
     ),
 }
 

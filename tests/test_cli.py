@@ -410,6 +410,7 @@ class TestBench:
             "bench_async_process",
             "bench_quality",
             "bench_service",
+            "bench_incremental",
         ]
 
 
@@ -436,3 +437,130 @@ class TestPipe:
         piped = read_edgelist(io.StringIO(extract.stdout))
         expected = extract_maximal_chordal_subgraph(rmat_er(6, seed=1))
         assert np.array_equal(piped.edge_array(), expected.edges)
+
+
+class TestExtractServerVerifyParity:
+    """``repro extract --server --verify`` must mirror the local exit-code
+    contract: a daemon-side VERIFY_FAILED is rc=3 with the counterexample
+    report on stderr, not a traceback or a generic rc=2."""
+
+    def _start_server(self, sock):
+        from repro.service import ReproServer, ServiceConfig
+
+        return ReproServer(
+            ServiceConfig(
+                socket_path=sock, num_pools=1, num_workers=1,
+                barrier_timeout=30.0,
+            )
+        )
+
+    def test_server_verify_pass_in_process(self, tmp_path, capsys):
+        from repro.service import ReproServer  # noqa: F401 - import guard
+
+        sock = str(tmp_path / "vp.sock")
+        source = str(tmp_path / "g.mtx")
+        save_graph(rmat_er(6, seed=5), source)
+        with self._start_server(sock):
+            rc = main(
+                ["extract", source, "--server", sock, "--verify",
+                 "--maximalize", "-o", str(tmp_path / "out.txt")]
+            )
+        assert rc == 0
+        assert "verified=chordal,maximal" in capsys.readouterr().err
+
+    def test_server_verify_failure_exits_3_subprocess(self, tmp_path):
+        """Real CLI subprocess against a daemon whose verifier is rigged
+        to fail: the client must exit 3 and relay the report."""
+        from repro.chordality.verify import VerificationReport
+
+        sock = str(tmp_path / "vf.sock")
+        source = str(tmp_path / "g.mtx")
+        save_graph(rmat_er(6, seed=5), source)
+        server = self._start_server(sock)
+        # Rig the daemon (which lives in THIS process): every verification
+        # reports a fake hole, as a genuinely buggy engine would.
+        server._verify_failure = lambda *a, **k: __import__(
+            "repro.service.protocol", fromlist=["error_response"]
+        ).error_response(
+            "VERIFY_FAILED",
+            str(
+                VerificationReport(
+                    edges_valid=True, chordal=False, maximal=None,
+                    hole=[0, 1, 2, 3],
+                )
+            ),
+        )
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        with server:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", "extract", source,
+                 "--server", sock, "--verify"],
+                capture_output=True, text=True, env=env, cwd=root, timeout=120,
+            )
+        assert proc.returncode == 3, (proc.returncode, proc.stderr)
+        assert "verification failed" in proc.stderr
+        assert "hole" in proc.stderr  # the counterexample made it across
+
+
+class TestMutate:
+    def _edgelist(self, tmp_path, graph, name="g.txt"):
+        path = tmp_path / name
+        save_graph(graph, str(path))
+        return str(path)
+
+    def test_mutate_round_trip(self, tmp_path, capsys):
+        from repro.chordality.verify import verify_extraction
+        from repro.graph.io import load_graph as _load
+
+        graph = rmat_er(6, seed=9)
+        gpath = self._edgelist(tmp_path, graph)
+        mpath = tmp_path / "muts.txt"
+        u, v = (int(x) for x in graph.edge_array()[0])
+        mpath.write_text(
+            "# one delete, one fresh insert\n"
+            f"delete {u} {v}\n"
+            f"insert {u} {v}\n"
+        )
+        out = tmp_path / "chordal.txt"
+        rc = main(
+            ["mutate", gpath, str(mpath), "-o", str(out), "--verify"]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "mutations=2" in err and "verified=chordal,maximal" in err
+        edges = _load(str(out)).edge_array()
+        report = verify_extraction(graph, edges, check_maximal=True)
+        assert report.ok, report
+
+    def test_mutate_from_stdin_ops(self, tmp_path, capsys, monkeypatch):
+        graph = rmat_er(5, seed=3)
+        gpath = self._edgelist(tmp_path, graph)
+        u, v = (int(x) for x in graph.edge_array()[0])
+        monkeypatch.setattr("sys.stdin", io.StringIO(f"- {u} {v}\n+ {u} {v}\n"))
+        assert main(["mutate", gpath, "-", "-o", str(tmp_path / "o.txt")]) == 0
+        assert "mutations=2" in capsys.readouterr().err
+
+    def test_mutate_bad_op_exits_2_with_location(self, tmp_path, capsys):
+        gpath = self._edgelist(tmp_path, rmat_er(5, seed=3))
+        mpath = tmp_path / "muts.txt"
+        mpath.write_text("insert 0 1 2\n")
+        assert main(["mutate", gpath, str(mpath)]) == 2
+        err = capsys.readouterr().err
+        assert "muts.txt:1" in err and "expected 'OP U V'" in err
+
+    def test_mutate_double_stdin_rejected(self, capsys):
+        assert main(["mutate", "-", "-"]) == 2
+        assert "stdin" in capsys.readouterr().err
+
+    def test_mutate_invalid_mutation_exits_2(self, tmp_path, capsys):
+        graph = rmat_er(5, seed=3)
+        gpath = self._edgelist(tmp_path, graph)
+        mpath = tmp_path / "muts.txt"
+        u, v = (int(x) for x in graph.edge_array()[0])
+        mpath.write_text(f"insert {u} {v}\n")  # already present
+        assert main(["mutate", gpath, str(mpath)]) == 2
+        assert "already an edge" in capsys.readouterr().err

@@ -113,7 +113,7 @@ class TestMetis:
         with _pytest.raises(GraphFormatError, match="declares"):
             read_metis(_io.StringIO("3 5\n2\n1\n\n"))
 
-    def test_weighted_rejected(self):
+    def test_edge_weights_without_vertex_weights_rejected(self):
         import io as _io
 
         import pytest as _pytest
@@ -121,8 +121,25 @@ class TestMetis:
         from repro.errors import GraphFormatError
         from repro.graph.io import read_metis
 
-        with _pytest.raises(GraphFormatError, match="weighted"):
-            read_metis(_io.StringIO("2 1 011\n2 5\n1 5\n"))
+        # fmt "1" (and "001") declare edge weights with no vertex weights;
+        # there is no weight-carrying topology to salvage, so this rejects.
+        for fmt in ("1", "001"):
+            with _pytest.raises(GraphFormatError, match="edge weights"):
+                read_metis(_io.StringIO(f"2 1 {fmt}\n2 5\n1 5\n"))
+
+    def test_vertex_weighted_read_topology_only(self):
+        import io as _io
+
+        from repro.graph.io import read_metis
+
+        # fmt "10": one vertex-weight token per row, skipped on read.
+        g = read_metis(_io.StringIO("3 2 10\n7 2 3\n4 1\n9 1\n"))
+        assert g.edge_set() == {(0, 1), (0, 2)}
+        # fmt "011": vertex weight first, then neighbor/edge-weight pairs;
+        # edge weights are skipped and only the topology is kept.
+        g = read_metis(_io.StringIO("2 1 011\n7 2 5\n9 1 5\n"))
+        assert g.num_vertices == 2
+        assert g.edge_set() == {(0, 1)}
 
     def test_empty_file_rejected(self):
         import io as _io

@@ -139,6 +139,109 @@ def test_no_cache_bypasses_both_lookup_and_store(client):
     assert not client.extract(graph, config=config, no_cache=True).cached
 
 
+def test_verify_runs_at_most_once_per_cached_entry(client):
+    graph = rmat_b(6, seed=47)
+    config = {"engine": "superstep", "maximalize": True}
+    before = client.stats()
+    first = client.extract(graph, config=config, verify=True)
+    mid = client.stats()
+    assert first.verified and not first.cached
+    assert mid["verifications"] == before["verifications"] + 1
+    # verified hits are served from the stored bit: no re-verification,
+    # no dispatch
+    for _ in range(3):
+        again = client.extract(graph, config=config, verify=True)
+        assert again.cached and again.verified
+    after = client.stats()
+    assert after["verifications"] == mid["verifications"]
+    assert _dispatches(after) == _dispatches(mid)
+
+
+def test_unverified_hit_is_verified_once_on_demand(client):
+    graph = rmat_b(6, seed=48)
+    config = {"engine": "superstep", "maximalize": True}
+    plain = client.extract(graph, config=config)  # populates, unverified
+    assert not plain.verified
+    before = client.stats()
+    hit = client.extract(graph, config=config, verify=True)
+    mid = client.stats()
+    assert hit.cached and hit.verified
+    assert mid["verifications"] == before["verifications"] + 1
+    assert _dispatches(mid) == _dispatches(before)  # verified the cached edges
+    # the bit is now stored: further verified hits are free
+    assert client.extract(graph, config=config, verify=True).verified
+    assert client.stats()["verifications"] == mid["verifications"]
+
+
+def test_mutate_invalidates_only_the_mutated_graphs_entries(server):
+    mutated = rmat_b(6, seed=49)
+    bystander = rmat_b(6, seed=50)
+    config = {"engine": "superstep"}
+    with ServiceClient(socket_path=server.config.socket_path) as client:
+        client.extract(mutated, config=config)
+        client.extract(bystander, config=config)
+        before = client.stats()
+        opened = client.mutate(graph=mutated)
+        assert opened.session == "opened"
+        assert opened.num_graph_edges == mutated.num_edges
+        # opening alone mutates nothing and evicts nothing
+        assert client.stats()["cache_invalidations"] == before[
+            "cache_invalidations"
+        ]
+        u, v = (int(x) for x in mutated.edge_array()[0])
+        step = client.mutate(ops=[("delete", u, v)], verify=True)
+        assert step.session == "continued"
+        assert step.applied == {
+            "applied": 1,
+            "inserted": 0,
+            "retained": 0,
+            "deleted": 1,
+        }
+        assert step.verified
+        assert step.num_graph_edges == mutated.num_edges - 1
+        after = client.stats()
+        assert after["mutations"] == before["mutations"] + 1
+        assert after["cache_invalidations"] > before["cache_invalidations"]
+        # targeted: the mutated graph's entry is gone, the bystander's hits
+        assert not client.extract(mutated, config=config).cached
+        assert client.extract(bystander, config=config).cached
+        # round trip: reinsert restores the original edge set
+        restored = client.mutate(ops=[("insert", u, v)])
+        assert np.array_equal(
+            np.sort(restored.edges, axis=0),
+            np.sort(client.extract(mutated, config=config).edges, axis=0),
+        ) or restored.num_graph_edges == mutated.num_edges
+
+
+def test_mutate_without_session_or_with_bad_ops_is_rejected(server):
+    from repro.service import ServiceError
+
+    with ServiceClient(socket_path=server.config.socket_path) as client:
+        with pytest.raises(ServiceError, match="no open mutate session"):
+            client.mutate(ops=[("insert", 0, 1)])
+        graph = build_graph(4, [(0, 1), (1, 2)])
+        client.mutate(graph=graph)
+        with pytest.raises(ServiceError, match="mutation rejected"):
+            client.mutate(ops=[("delete", 0, 3)])  # not an edge
+        # the session survives a rejected mutation and stays coherent
+        ok = client.mutate(ops=[("insert", 0, 2)])
+        assert ok.session == "continued"
+        assert ok.num_graph_edges == 3
+
+
+def test_mutate_sessions_are_per_connection(server):
+    graph = build_graph(4, [(0, 1), (1, 2)])
+    with ServiceClient(socket_path=server.config.socket_path) as c1:
+        c1.mutate(graph=graph)
+        with ServiceClient(socket_path=server.config.socket_path) as c2:
+            from repro.service import ServiceError
+
+            with pytest.raises(ServiceError, match="no open mutate session"):
+                c2.mutate(ops=[("insert", 0, 2)])
+        # c1's session is unaffected by c2's lifecycle
+        assert c1.mutate(ops=[("insert", 0, 2)]).session == "continued"
+
+
 def test_lru_eviction_pins_the_entry_ceiling(tmp_path):
     sock = str(tmp_path / "lru.sock")
     config = ServiceConfig(
@@ -198,6 +301,40 @@ def test_result_cache_rejects_oversized_entry_outright():
         "misses": 0,
         "evictions": 0,
     }
+
+
+def test_result_cache_verified_bit_round_trip():
+    cache = ResultCache(max_entries=4, max_bytes=1 << 20)
+    cache.put(("a",), _edges(2), {})
+    assert not cache.is_verified(("a",))
+    cache.mark_verified(("a",))
+    assert cache.is_verified(("a",))
+    # the verified probe is not a hit and must not refresh recency
+    hits = cache.stats()["hits"]
+    assert cache.is_verified(("a",))
+    assert cache.stats()["hits"] == hits
+    # put with verified=True stores the bit up front
+    cache.put(("b",), _edges(2, 10), {}, verified=True)
+    assert cache.is_verified(("b",))
+    # replacing an entry resets its verified bit
+    cache.put(("b",), _edges(3, 20), {})
+    assert not cache.is_verified(("b",))
+    # marking an absent key is a no-op, probing it is False
+    cache.mark_verified(("ghost",))
+    assert not cache.is_verified(("ghost",))
+
+
+def test_result_cache_invalidate_graph_targets_one_content_hash():
+    cache = ResultCache(max_entries=8, max_bytes=1 << 20)
+    cache.put(("h1", "cfgA"), _edges(2), {})
+    cache.put(("h1", "cfgB"), _edges(3), {})
+    cache.put(("h2", "cfgA"), _edges(4), {})
+    assert cache.invalidate_graph("h1") == 2
+    assert cache.get(("h1", "cfgA")) is None
+    assert cache.get(("h1", "cfgB")) is None
+    assert cache.get(("h2", "cfgA")) is not None
+    assert cache.stats()["evictions"] == 2
+    assert cache.invalidate_graph("absent") == 0
 
 
 def test_result_cache_get_recency_and_replacement():
