@@ -1,7 +1,7 @@
 """Tier-2 guard: fail when a hot path regresses >2x against its baseline
 or an engine's answer quality drops below its recorded baseline.
 
-Six committed baselines are guarded:
+Seven committed baselines are guarded:
 
 * ``BENCH_kernels.json`` — per-kernel median wall-clock of every kernel
   registered in ``benchmarks/record_baseline.py``;
@@ -26,7 +26,14 @@ Six committed baselines are guarded:
   least ``MIN_INCREMENTAL_SPEEDUP``x faster than full re-extraction —
   and on quality: every re-driven answer must be chordal and meet the
   certified floor (like the quality baseline, a floor breach is a
-  correctness bug no re-record can excuse).
+  correctness bug no re-record can excuse);
+* ``BENCH_sharded.json`` — the out-of-core sharded pipeline
+  (``benchmarks/bench_sharded.py``).  The recorded run must show all
+  three quality gates (stitched result chordal, certified floor met,
+  sampled boundary certificates clean) and a retained-edge fraction
+  within ``MIN_RETENTION_RATIO`` of the in-memory maximalizing engine;
+  the guard re-drives the comparison scale and gates the fresh ratio
+  and wall-clock the same way.
 
 Not part of tier-1 (``bench_*`` files are not collected by default); run
 explicitly:
@@ -68,6 +75,7 @@ from bench_incremental import (
     measure_incremental,
 )
 from bench_service import SERVICE_PATH, measure_service
+from bench_sharded import MIN_RETENTION_RATIO, SHARDED_PATH, measure_comparison
 from record_baseline import BASELINE_PATH, build_kernels, median_seconds
 from record_batch_baseline import BATCH_PATH, NUM_GRAPHS, NUM_WORKERS, build_graphs
 
@@ -149,6 +157,20 @@ _INCREMENTAL_BASELINE, _INCREMENTAL_PROBLEM = _load_guarded_baseline(
     "repro bench --record incremental",
 )
 
+_SHARDED_BASELINE, _SHARDED_PROBLEM = _load_guarded_baseline(
+    SHARDED_PATH,
+    (
+        "chordal",
+        "floor_met",
+        "boundary_sample_ok",
+        "all_shards_verified",
+        "retention_ratio",
+        "sharded_seconds",
+        "compare_scale",
+    ),
+    "repro bench --record sharded",
+)
+
 
 @pytest.fixture(scope="module")
 def kernels():
@@ -164,6 +186,7 @@ def kernels():
         pytest.param(_QUALITY_PROBLEM, id="quality"),
         pytest.param(_SERVICE_PROBLEM, id="service"),
         pytest.param(_INCREMENTAL_PROBLEM, id="incremental"),
+        pytest.param(_SHARDED_PROBLEM, id="sharded"),
     ],
 )
 def test_guarded_baseline_wellformed(problem):
@@ -345,6 +368,56 @@ def test_incremental_recorded_baseline_meets_gates():
             "— a recorded quality breach is a correctness bug, not a "
             "baseline to tolerate"
         )
+
+
+@pytest.mark.skipif(
+    _SHARDED_PROBLEM is not None, reason="baseline problem reported above"
+)
+def test_sharded_recorded_baseline_meets_gates():
+    """The committed baseline itself must show the acceptance figures:
+    every shard verified, the stitched result chordal, the certified
+    floor met, sampled boundary certificates clean, and retention within
+    MIN_RETENTION_RATIO of the in-memory maximalizing engine."""
+    for key in ("chordal", "floor_met", "boundary_sample_ok", "all_shards_verified"):
+        assert _SHARDED_BASELINE[key] is True, (
+            f"BENCH_sharded.json has {key}={_SHARDED_BASELINE[key]} — a "
+            "recorded certification breach is a correctness bug, not a "
+            "baseline to tolerate"
+        )
+    assert _SHARDED_BASELINE["retention_ratio"] >= MIN_RETENTION_RATIO, (
+        f"BENCH_sharded.json records retention_ratio="
+        f"{_SHARDED_BASELINE['retention_ratio']:.3f} below the "
+        f"{MIN_RETENTION_RATIO} gate — the sharded mode gives up too much "
+        "quality vs the in-memory engine; fix it, then re-record with "
+        "`repro bench --record sharded`"
+    )
+
+
+@pytest.mark.skipif(
+    _SHARDED_PROBLEM is not None, reason="baseline problem reported above"
+)
+def test_sharded_comparison_not_regressed():
+    """Re-drive the comparison scale: the fresh retention ratio must hold
+    the MIN_RETENTION_RATIO gate (quality — deterministic) and the
+    sharded wall-clock must stay within 2x of the baseline (speed)."""
+    current = measure_comparison(
+        scale=_SHARDED_BASELINE["compare_scale"],
+        num_shards=_SHARDED_BASELINE.get("compare_shards", 4),
+    )
+    assert current["retention_ratio"] >= MIN_RETENTION_RATIO, (
+        f"sharded re-drive retained only {current['retention_ratio']:.3f} "
+        f"of the in-memory engine's edges (gate {MIN_RETENTION_RATIO}) — "
+        "a stitching quality regression, not a timing artefact"
+    )
+    baseline_seconds = max(_SHARDED_BASELINE["sharded_seconds"], MIN_MEANINGFUL_SECONDS)
+    ratio = current["sharded_seconds"] / baseline_seconds
+    assert ratio <= MAX_REGRESSION, (
+        f"sharded pipeline at scale {_SHARDED_BASELINE['compare_scale']}: "
+        f"{current['sharded_seconds']:.3f} s vs baseline "
+        f"{_SHARDED_BASELINE['sharded_seconds']:.3f} s ({ratio:.2f}x > "
+        f"{MAX_REGRESSION}x); if intentional, re-record with "
+        "`repro bench --record sharded`"
+    )
 
 
 @pytest.mark.skipif(

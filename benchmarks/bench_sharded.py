@@ -1,0 +1,219 @@
+#!/usr/bin/env python
+"""Record the out-of-core sharded extraction baseline (BENCH_sharded.json).
+
+Two measurements feed one file:
+
+* **out-of-core figures** — the full ``plan -> run -> stitch`` pipeline
+  on the scale-``SCALE`` RMAT-ER graph spilled to ``NUM_SHARDS`` shards:
+  per-phase wall-clock, peak-address-space delta (``VmPeak``), boundary
+  edge volume, admitted/rejected split, and the three quality gates
+  (stitched result chordal, certified
+  :func:`~repro.chordality.quality.maximal_chordal_floor` met, sampled
+  boundary certificates clean).  At this scale the in-memory
+  maximalizing engine needs several hundred seconds, the sharded
+  pipeline a few — which is the point of the subsystem;
+* **retention comparison** — retained-edge fraction of the sharded
+  pipeline vs the in-memory maximalizing engine at
+  ``COMPARE_SCALE``, the largest scale where the in-memory completion
+  pass is still cheap enough to re-drive inside the regression guard.
+
+The guard (``bench_regression_guard.py``) re-drives the comparison:
+quality gates must hold on the fresh answer, the retention ratio must
+stay above ``MIN_RETENTION_RATIO``, and the sharded wall-clock must stay
+within 2x of this baseline.
+
+Re-record on a quiet machine after intentional changes:
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py
+    # or: repro bench --record sharded
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+SHARDED_PATH = Path(__file__).resolve().parent / "BENCH_sharded.json"
+
+#: RMAT-ER scale of the out-of-core run (the acceptance scale: the
+#: in-memory maximalizing engine is already impractical here).
+SCALE = 14
+NUM_SHARDS = 8
+GRAPH_SEED = 1
+
+#: Largest scale where the in-memory engine's maximalize pass is cheap
+#: enough to re-run in the guard (~seconds; scale 14 is ~minutes).
+COMPARE_SCALE = 11
+COMPARE_SHARDS = 4
+
+#: Boundary-certificate samples per recorded run.
+SAMPLES = 32
+
+#: The guard's quality gate: sharded retained edges must stay within
+#: this fraction of the in-memory maximalizing engine's count.
+MIN_RETENTION_RATIO = 0.8
+
+
+def _vmpeak_kb() -> int | None:
+    """Peak address space of this process in KiB (Linux), else ``None``."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmPeak"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def measure_sharded(
+    scale: int = SCALE,
+    num_shards: int = NUM_SHARDS,
+    samples: int = SAMPLES,
+) -> dict:
+    """Spill one RMAT-ER graph and run the sharded pipeline end to end.
+
+    Returns per-phase timings, the ``VmPeak`` delta across the pipeline
+    (``None`` off-Linux), boundary volumes, and the quality gates.
+    """
+    from repro.chordality.quality import maximal_chordal_floor
+    from repro.chordality.recognition import is_chordal
+    from repro.graph.generators.rmat import rmat_er
+    from repro.graph.io import save_graph
+    from repro.shard import (
+        build_plan,
+        run_shards,
+        sampled_boundary_report,
+        stitch_shards,
+    )
+
+    graph = rmat_er(scale, seed=GRAPH_SEED)
+    floor = maximal_chordal_floor(graph)
+    with tempfile.TemporaryDirectory(prefix="bench-sharded-") as tmp:
+        input_path = Path(tmp) / f"rmat_er_{scale}.txt"
+        save_graph(graph, input_path, format="snap")
+        peak_before = _vmpeak_kb()
+
+        t0 = time.perf_counter()
+        plan, _reused = build_plan(input_path, num_shards, Path(tmp) / "spill")
+        plan_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        stats = run_shards(plan, verify=True)
+        run_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        result = stitch_shards(plan)
+        stitch_seconds = time.perf_counter() - t0
+
+        report = sampled_boundary_report(result, samples=samples)
+        peak_after = _vmpeak_kb()
+
+    peak_delta_mb = (
+        (peak_after - peak_before) / 1024.0
+        if peak_before is not None and peak_after is not None
+        else None
+    )
+    return {
+        "scale": scale,
+        "graph_seed": GRAPH_SEED,
+        "num_shards": num_shards,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "plan_seconds": plan_seconds,
+        "run_seconds": run_seconds,
+        "stitch_seconds": stitch_seconds,
+        "total_seconds": plan_seconds + run_seconds + stitch_seconds,
+        "peak_delta_mb": peak_delta_mb,
+        "boundary_edges": result.boundary_edges,
+        "admitted_boundary": result.admitted_boundary,
+        "stitch_rounds": result.rounds,
+        "chordal_edges": result.num_chordal_edges,
+        "retained_fraction": result.num_chordal_edges / graph.num_edges,
+        "all_shards_verified": all(s.verified for s in stats),
+        "chordal": is_chordal(result.subgraph()),
+        "floor_met": result.num_chordal_edges >= floor,
+        "boundary_sample_ok": bool(report["ok"]),
+    }
+
+
+def measure_comparison(
+    scale: int = COMPARE_SCALE,
+    num_shards: int = COMPARE_SHARDS,
+) -> dict:
+    """Sharded vs in-memory maximalizing engine on one graph.
+
+    Runs both paths on the same RMAT-ER graph and returns retained-edge
+    fractions plus wall-clock for each; the ratio is the quality price
+    of never materialising the full graph.
+    """
+    from repro.chordality.quality import retained_fraction
+    from repro.core.session import Extractor
+    from repro.graph.generators.rmat import rmat_er
+    from repro.graph.io import save_graph
+    from repro.shard import extract_sharded
+
+    graph = rmat_er(scale, seed=GRAPH_SEED)
+    t0 = time.perf_counter()
+    with Extractor(maximalize=True) as session:
+        expected = session.extract(graph)
+    memory_seconds = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="bench-sharded-cmp-") as tmp:
+        input_path = Path(tmp) / f"rmat_er_{scale}.txt"
+        save_graph(graph, input_path, format="snap")
+        t0 = time.perf_counter()
+        result = extract_sharded(
+            input_path,
+            num_shards=num_shards,
+            spill_dir=Path(tmp) / "spill",
+            verify_shards=True,
+        )
+        sharded_seconds = time.perf_counter() - t0
+
+    sharded_fraction = retained_fraction(graph, result.edges)
+    memory_fraction = retained_fraction(graph, expected.edges)
+    return {
+        "compare_scale": scale,
+        "compare_shards": num_shards,
+        "sharded_fraction": sharded_fraction,
+        "memory_fraction": memory_fraction,
+        "retention_ratio": sharded_fraction / memory_fraction,
+        "sharded_seconds": sharded_seconds,
+        "memory_seconds": memory_seconds,
+    }
+
+
+def record(path: Path = SHARDED_PATH) -> dict:
+    measured = measure_sharded()
+    comparison = measure_comparison()
+    payload = {
+        **measured,
+        **comparison,
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    peak = (
+        f"{payload['peak_delta_mb']:.0f} MB peak delta"
+        if payload["peak_delta_mb"] is not None
+        else "peak n/a"
+    )
+    print(
+        f"sharded: scale {payload['scale']} x {payload['num_shards']} shards "
+        f"in {payload['total_seconds']:.1f} s ({peak}), boundary "
+        f"{payload['boundary_edges']} -> {payload['admitted_boundary']} "
+        f"admitted over {payload['stitch_rounds']} rounds; "
+        f"chordal={payload['chordal']} floor={payload['floor_met']} "
+        f"sample={payload['boundary_sample_ok']}; retention at scale "
+        f"{payload['compare_scale']}: {payload['sharded_fraction']:.4f} vs "
+        f"in-memory {payload['memory_fraction']:.4f} "
+        f"({payload['retention_ratio']:.3f}x) -> {path}"
+    )
+    return payload
+
+
+if __name__ == "__main__":
+    record()

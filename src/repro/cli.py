@@ -32,6 +32,13 @@ Subcommands
     maximal chordal subgraph *incrementally* across an edge-mutation
     stream (:class:`repro.core.incremental.IncrementalExtractor`) and
     write the final chordal edge set.
+``shard``
+    Out-of-core extraction, stepwise (:mod:`repro.shard`): ``plan``
+    streams a huge input into per-shard spill files, ``run`` extracts
+    shards resumably (per-shard results are cached on disk), ``stitch``
+    reconciles boundary edges chordally and writes the global edge set.
+    ``repro extract --sharded --shards N --spill-dir DIR`` is the
+    one-shot form.
 ``serve``
     Run the extraction service (:mod:`repro.service`): a daemon owning
     warm worker pools behind a unix socket (and/or TCP), with an
@@ -90,6 +97,7 @@ from repro.graph.generators import (
 )
 from repro.graph.io import (
     FORMATS,
+    STREAMABLE_FORMATS,
     load_graph,
     read_edgelist,
     read_metis,
@@ -227,6 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
         "unix-socket path, or HOST:PORT for TCP.  --verify then certifies "
         "server-side; --num-workers is rejected (the server sizes its own "
         "pools)",
+    )
+    ex.add_argument(
+        "--sharded",
+        action="store_true",
+        help="out-of-core mode (repro.shard): stream the input into "
+        "per-shard spill files, extract each shard, stitch boundary edges "
+        "chordally.  Requires one file input and --spill-dir; per-shard "
+        "maximalization is always on (the stitched certificates need it).  "
+        "--verify certifies every shard plus the stitched seam",
+    )
+    ex.add_argument(
+        "--shards", type=int, default=4, help="shard count for --sharded (default 4)"
+    )
+    ex.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="spill directory for --sharded (plan.json, shard spills, "
+        "cached per-shard results; reused across runs)",
     )
 
     ver = sub.add_parser(
@@ -411,6 +438,105 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="store_true", help="suppress the stats line on stderr"
     )
 
+    shard = sub.add_parser(
+        "shard",
+        help="stepwise out-of-core extraction: plan / run / stitch",
+        description="The stepwise face of `repro extract --sharded` "
+        "(repro.shard): `plan` streams the input into per-shard spill "
+        "files under an edge-balanced vertex partition; `run` extracts "
+        "shards (resumable — results are cached per shard, keyed by input "
+        "digest + partition + config); `stitch` reconciles boundary edges "
+        "in deterministic chordality-preserving rounds and writes the "
+        "stitched edge set.  Run and stitch must use the same engine knobs "
+        "(the result cache is config-keyed).",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    sp = shard_sub.add_parser(
+        "plan", help="stream the input file into per-shard spill files"
+    )
+    sp.add_argument("input", help="input graph file (edgelist/snap/mtx, .gz ok)")
+    sp.add_argument("--shards", type=int, default=4, help="shard count (default 4)")
+    sp.add_argument("--spill-dir", required=True, metavar="DIR")
+    sp.add_argument(
+        "--input-format",
+        choices=STREAMABLE_FORMATS,
+        default=None,
+        help="input format (default: auto-detect; metis/npz are not streamable)",
+    )
+    sp.add_argument(
+        "--force",
+        action="store_true",
+        help="re-stream even if the spill dir already holds a matching plan",
+    )
+    sp.add_argument("-q", "--quiet", action="store_true")
+
+    def _add_shard_engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine",
+            choices=tuple(e.name for e in engines),
+            default="superstep",
+            help="per-shard extraction engine (default superstep)",
+        )
+        p.add_argument("--variant", choices=VARIANTS, default="optimized")
+        p.add_argument("--schedule", choices=schedule_names(), default=None)
+        p.add_argument("--num-threads", type=int, default=4)
+        p.add_argument("--num-workers", type=int, default=None)
+        p.add_argument("--renumber", choices=("bfs",), default=None)
+        p.add_argument(
+            "--no-maximalize",
+            action="store_true",
+            help="skip the per-shard completion pass (default on: the "
+            "stitched maximality certificates assume locally maximal shards)",
+        )
+
+    sr = shard_sub.add_parser(
+        "run", help="extract planned shards (cached results are skipped)"
+    )
+    sr.add_argument("--spill-dir", required=True, metavar="DIR")
+    sr.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extract only shard N (default: all shards)",
+    )
+    sr.add_argument(
+        "--no-cache", action="store_true", help="re-extract even cached shards"
+    )
+    sr.add_argument(
+        "--verify",
+        action="store_true",
+        help="certify each freshly extracted shard (verify_extraction); "
+        "exit 3 on failure",
+    )
+    _add_shard_engine_options(sr)
+    sr.add_argument("-q", "--quiet", action="store_true")
+
+    st = shard_sub.add_parser(
+        "stitch",
+        help="reconcile boundary edges and write the stitched chordal edge set",
+    )
+    st.add_argument("--spill-dir", required=True, metavar="DIR")
+    st.add_argument("-o", "--output", default="-", help="output path ('-' = stdout)")
+    st.add_argument(
+        "--output-format",
+        choices=("edgelist", "mtx", "metis", "npz"),
+        default=None,
+    )
+    st.add_argument(
+        "--certify",
+        action="store_true",
+        help="certify the stitched result: full chordality check plus "
+        "sampled boundary maximality / hole certificates; exit 3 on failure",
+    )
+    st.add_argument(
+        "--samples", type=int, default=64, help="--certify sample count (default 64)"
+    )
+    st.add_argument("--seed", type=int, default=0, help="--certify sample seed")
+    _add_shard_engine_options(st)
+    st.add_argument("-q", "--quiet", action="store_true")
+
     be = sub.add_parser(
         "bench",
         help="run the kernel regression guard / record baselines",
@@ -424,7 +550,8 @@ def build_parser() -> argparse.ArgumentParser:
         "'quality' (the answer-quality baseline, BENCH_quality.json), "
         "'service' (the serve-daemon throughput baseline, "
         "BENCH_service.json), 'incremental' (the dynamic-graph updates/sec "
-        "baseline, BENCH_incremental.json), or 'all'.",
+        "baseline, BENCH_incremental.json), 'sharded' (the out-of-core "
+        "extraction baseline, BENCH_sharded.json), or 'all'.",
     )
     be.add_argument(
         "--record",
@@ -432,7 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
         const="kernels",
         choices=(
             "kernels", "batch", "async", "quality", "service",
-            "incremental", "all",
+            "incremental", "sharded", "all",
         ),
         default=None,
         help="re-record a baseline (bare --record means 'kernels', its "
@@ -603,7 +730,89 @@ def _extract_via_server(args: argparse.Namespace, out_dir, out_ext) -> int:
     return 0
 
 
+def _extract_sharded(args: argparse.Namespace) -> int:
+    """The ``--sharded`` path of ``repro extract``: plan, run, stitch."""
+    from repro.shard import certify_stitched, extract_sharded
+
+    if len(args.inputs) != 1 or args.inputs[0] == "-":
+        print(
+            "repro extract: error: --sharded takes exactly one file input "
+            "(streaming needs a re-openable path)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.spill_dir is None:
+        print(
+            "repro extract: error: --sharded requires --spill-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.server is not None:
+        print(
+            "repro extract: error: --sharded and --server are exclusive "
+            "(the daemon is an in-memory engine)",
+            file=sys.stderr,
+        )
+        return 2
+    source = args.inputs[0]
+    # The completion pass is forced on: the stitch-time maximality
+    # certificates assume each shard is locally maximal.
+    config = ExtractionConfig(
+        engine=args.engine,
+        variant=args.variant,
+        schedule=args.schedule,
+        num_threads=args.num_threads,
+        num_workers=args.num_workers,
+        renumber=args.renumber,
+        stitch=args.stitch,
+        maximalize=True,
+    )
+    with Timer() as timer:
+        result = extract_sharded(
+            source,
+            num_shards=args.shards,
+            spill_dir=args.spill_dir,
+            format=args.input_format,
+            config=config,
+            verify_shards=args.verify,
+        )
+    verified = ""
+    if args.verify:
+        problems = certify_stitched(result)
+        if problems:
+            print(
+                f"repro extract: verification failed for {source}: "
+                + "; ".join(problems),
+                file=sys.stderr,
+            )
+            return 3
+        verified = " verified=shards,chordal,boundary-sample"
+    if args.output == "-":
+        _write_stdout(result.subgraph(), args.output_format)
+    else:
+        save_graph(result.subgraph(), args.output, format=args.output_format)
+    if not args.quiet:
+        cached = sum(1 for s in result.shard_stats if s.from_cache)
+        print(
+            f"{source}: n={result.num_vertices} raw_pairs={result.plan.raw_pairs} "
+            f"chordal={result.num_chordal_edges} shards={result.num_shards} "
+            f"(cached {cached}) boundary={result.boundary_edges} "
+            f"admitted={result.admitted_boundary} rounds={result.rounds} "
+            f"engine={args.engine}{verified} [{timer.elapsed:.3f}s]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
+    if args.sharded:
+        return _extract_sharded(args)
+    if args.spill_dir is not None or args.shards != 4:
+        print(
+            "repro extract: error: --shards/--spill-dir need --sharded",
+            file=sys.stderr,
+        )
+        return 2
     if len(args.inputs) > 1 and not args.out_dir:
         print(
             "repro extract: error: multiple inputs require --out-dir",
@@ -832,6 +1041,109 @@ def _cmd_mutate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_config(args: argparse.Namespace) -> ExtractionConfig:
+    """One config for ``shard run`` / ``shard stitch`` — identical knobs
+    must yield identical cache keys, so both build it the same way."""
+    return ExtractionConfig(
+        engine=args.engine,
+        variant=args.variant,
+        schedule=args.schedule,
+        num_threads=args.num_threads,
+        num_workers=args.num_workers,
+        renumber=args.renumber,
+        maximalize=not args.no_maximalize,
+    )
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.shard import build_plan, load_plan, run_shards, stitch_shards
+
+    if args.shard_command == "plan":
+        with Timer() as timer:
+            plan, reused = build_plan(
+                args.input,
+                args.shards,
+                args.spill_dir,
+                format=args.input_format,
+                resume=not args.force,
+            )
+        if not args.quiet:
+            sizes = [
+                plan.cuts[s + 1] - plan.cuts[s] for s in range(plan.num_shards)
+            ]
+            print(
+                f"{args.input}: n={plan.num_vertices} "
+                f"raw_pairs={plan.raw_pairs} shards={plan.num_shards} "
+                f"vertices/shard={min(sizes)}..{max(sizes)} "
+                f"local_pairs={list(plan.local_counts)} "
+                f"boundary_pairs={plan.boundary_count} "
+                f"format={plan.input_format}"
+                f"{' (reused existing plan)' if reused else ''} "
+                f"[{timer.elapsed:.3f}s]",
+                file=sys.stderr,
+            )
+        return 0
+
+    plan = load_plan(args.spill_dir)
+    config = _shard_config(args)
+    if args.shard_command == "run":
+        shards = None if args.shard is None else [args.shard]
+        with Timer() as timer:
+            stats = run_shards(
+                plan,
+                config=config,
+                shards=shards,
+                use_cache=not args.no_cache,
+                verify=args.verify,
+            )
+        if not args.quiet:
+            for s in stats:
+                tag = "cached" if s.from_cache else f"{s.seconds:.3f}s"
+                verified = " verified" if s.verified else ""
+                print(
+                    f"shard {s.shard}: n={s.num_vertices} m={s.num_edges} "
+                    f"chordal={s.retained_edges} engine={s.engine}"
+                    f"{verified} [{tag}]",
+                    file=sys.stderr,
+                )
+            print(
+                f"{len(stats)} shard(s) [{timer.elapsed:.3f}s]", file=sys.stderr
+            )
+        return 0
+
+    # stitch
+    with Timer() as timer:
+        result = stitch_shards(plan, config=config)
+    if args.certify:
+        from repro.shard import certify_stitched
+
+        problems = certify_stitched(
+            result, samples=args.samples, seed=args.seed
+        )
+        if problems:
+            print(
+                "repro shard stitch: certification failed: "
+                + "; ".join(problems),
+                file=sys.stderr,
+            )
+            return 3
+    if args.output == "-":
+        _write_stdout(result.subgraph(), args.output_format)
+    else:
+        save_graph(result.subgraph(), args.output, format=args.output_format)
+    if not args.quiet:
+        certified = " certified=chordal,boundary-sample" if args.certify else ""
+        print(
+            f"{plan.input_path}: n={result.num_vertices} "
+            f"chordal={result.num_chordal_edges} "
+            f"(intra {result.intra_shard_edges} + boundary "
+            f"{result.admitted_boundary}) boundary={result.boundary_edges} "
+            f"rounds={result.rounds}{certified} [{timer.elapsed:.3f}s]",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = _FAMILIES[args.family][0](args)
     if args.output == "-":
@@ -849,6 +1161,7 @@ _RECORDERS = {
     "quality": "bench_quality",
     "service": "bench_service",
     "incremental": "bench_incremental",
+    "sharded": "bench_sharded",
 }
 
 
@@ -873,7 +1186,8 @@ def _resolve_record_target(args: argparse.Namespace) -> str | None:
     if len(requested) > 1:
         raise ReproError(
             f"conflicting record flags {requested}; pass a single "
-            "--record {kernels,batch,async,quality,service,incremental,all}"
+            "--record "
+            "{kernels,batch,async,quality,service,incremental,sharded,all}"
         )
     return requested[0] if requested else None
 
@@ -956,6 +1270,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "generate": _cmd_generate,
     "mutate": _cmd_mutate,
+    "shard": _cmd_shard,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
     "experiments": _cmd_experiments,

@@ -66,3 +66,14 @@ class ConvergenceError(ReproError):
 class MachineModelError(ReproError):
     """Raised for invalid machine-model configurations (e.g. zero
     processors, negative latencies)."""
+
+
+class ShardError(ReproError):
+    """Raised by the out-of-core sharded extractor (:mod:`repro.shard`).
+
+    Covers a spill directory whose plan does not match the input file
+    (stale digest, different shard count), missing per-shard results at
+    stitch time, and per-shard verification failures.  The message
+    always names the spill directory and shard index involved so a
+    failure can be replayed with ``repro shard run --shard N``.
+    """

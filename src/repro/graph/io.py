@@ -28,6 +28,7 @@ from __future__ import annotations
 import gzip
 import io
 import os
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -46,18 +47,30 @@ __all__ = [
     "read_mtx",
     "read_snap",
     "detect_format",
+    "detect_format_stream",
+    "EdgeStream",
     "load_graph",
     "save_graph",
     "strip_format_extension",
     "FORMATS",
+    "STREAMABLE_FORMATS",
 ]
 
 #: Formats :func:`load_graph` understands (``save_graph`` writes all but
 #: ``snap``, which is a read-side convention, not a distinct writer).
 FORMATS = ("edgelist", "mtx", "metis", "npz", "snap")
 
+#: Formats :class:`EdgeStream` can iterate chunk-wise without ever
+#: materialising the full edge list (``metis`` is row-oriented and
+#: ``npz`` is already binary CSR — neither needs nor supports streaming).
+STREAMABLE_FORMATS = ("edgelist", "mtx", "snap")
+
 #: Characters of text per bulk-parse chunk (~1 MiB).
 _CHUNK_CHARS = 1 << 20
+
+#: Bytes of prefix :func:`detect_format_stream` examines (plenty for any
+#: banner/header line; gzip members decompress enough within this).
+_SNIFF_BYTES = 1 << 16
 
 _EXTENSION_FORMATS = {
     ".mtx": "mtx",
@@ -143,6 +156,14 @@ def _strip_comments(text: str, prefixes: tuple[str, ...], on_comment):
         yield "\n".join(kept)
 
 
+def _block_tokens(block: str) -> np.ndarray:
+    """One comment-free text block as a float64 token array."""
+    try:
+        return np.array(block.split(), dtype=np.float64)
+    except ValueError as exc:
+        raise GraphFormatError(f"non-numeric token in graph data: {exc}") from exc
+
+
 def _bulk_tokens(fh, comment_prefixes: tuple[str, ...], on_comment=None) -> np.ndarray:
     """All whitespace-separated numeric tokens of ``fh`` as one float64 array.
 
@@ -152,10 +173,7 @@ def _bulk_tokens(fh, comment_prefixes: tuple[str, ...], on_comment=None) -> np.n
     """
     parts: list[np.ndarray] = []
     for block in _data_blocks(fh, comment_prefixes, on_comment):
-        try:
-            parts.append(np.array(block.split(), dtype=np.float64))
-        except ValueError as exc:
-            raise GraphFormatError(f"non-numeric token in graph data: {exc}") from exc
+        parts.append(_block_tokens(block))
     if not parts:
         return np.empty(0, dtype=np.float64)
     return np.concatenate(parts)
@@ -373,6 +391,29 @@ def write_mtx(graph: CSRGraph, path: str | os.PathLike | io.TextIOBase) -> None:
             fh.close()
 
 
+def _parse_mtx_banner(fh) -> tuple[str, str]:
+    """Consume and validate the MatrixMarket banner line; returns
+    ``(field, symmetry)``."""
+    banner = fh.readline().strip()
+    parts = banner.lower().split()
+    if len(parts) != 5 or parts[0] != "%%matrixmarket":
+        raise GraphFormatError(
+            f"not a MatrixMarket file (banner {banner!r}); expected "
+            "'%%MatrixMarket matrix coordinate <field> <symmetry>'"
+        )
+    _, obj, fmt, field, symmetry = parts
+    if obj != "matrix" or fmt != "coordinate":
+        raise GraphFormatError(
+            f"only 'matrix coordinate' MatrixMarket files are supported, "
+            f"got '{obj} {fmt}'"
+        )
+    if field not in ("pattern", "real", "integer", "double"):
+        raise GraphFormatError(f"unsupported MatrixMarket field {field!r}")
+    if symmetry not in ("symmetric", "general", "skew-symmetric"):
+        raise GraphFormatError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+    return field, symmetry
+
+
 def read_mtx(path: str | os.PathLike | io.TextIOBase) -> CSRGraph:
     """Read a MatrixMarket coordinate file as an undirected graph.
 
@@ -385,23 +426,7 @@ def read_mtx(path: str | os.PathLike | io.TextIOBase) -> CSRGraph:
     own = isinstance(path, (str, os.PathLike))
     fh = _open_text(path, "r") if own else path
     try:
-        banner = fh.readline().strip()
-        parts = banner.lower().split()
-        if len(parts) != 5 or parts[0] != "%%matrixmarket":
-            raise GraphFormatError(
-                f"not a MatrixMarket file (banner {banner!r}); expected "
-                "'%%MatrixMarket matrix coordinate <field> <symmetry>'"
-            )
-        _, obj, fmt, field, symmetry = parts
-        if obj != "matrix" or fmt != "coordinate":
-            raise GraphFormatError(
-                f"only 'matrix coordinate' MatrixMarket files are supported, "
-                f"got '{obj} {fmt}'"
-            )
-        if field not in ("pattern", "real", "integer", "double"):
-            raise GraphFormatError(f"unsupported MatrixMarket field {field!r}")
-        if symmetry not in ("symmetric", "general", "skew-symmetric"):
-            raise GraphFormatError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+        field, _symmetry = _parse_mtx_banner(fh)
         tokens = _bulk_tokens(fh, ("%",))
     finally:
         if own:
@@ -498,15 +523,24 @@ def detect_format(path: str | os.PathLike) -> str:
             if fh.read(2) == b"PK":  # npz is a zip archive
                 return "npz"
         with _open_text(name, "r") as fh:
-            first = ""
-            for line in fh:
-                if line.strip():
-                    first = line.strip()
-                    break
+            first = _first_nonblank_line(fh.read(_SNIFF_BYTES))
     except (OSError, UnicodeDecodeError) as exc:
         # OSError covers missing files and misnamed gzip; UnicodeDecodeError
         # covers binary junk — both are "nothing matches", per the contract.
         raise GraphFormatError(f"cannot sniff {name!r}: {exc}") from exc
+    return _classify_first_line(first, repr(name))
+
+
+def _first_nonblank_line(text: str) -> str:
+    for line in text.splitlines():
+        if line.strip():
+            return line.strip()
+    return ""
+
+
+def _classify_first_line(first: str, what: str) -> str:
+    """Shared content classifier behind :func:`detect_format` and
+    :func:`detect_format_stream` (see ``detect_format`` for the rules)."""
     if first.lower().startswith("%%matrixmarket"):
         return "mtx"
     if first.startswith("%"):
@@ -519,18 +553,239 @@ def detect_format(path: str | os.PathLike) -> str:
     if len(tokens) == 3:
         return "metis"
     raise GraphFormatError(
-        f"cannot detect graph format of {name!r} (first line {first!r}); "
+        f"cannot detect graph format of {what} (first line {first!r}); "
         f"pass an explicit format from {FORMATS}"
     )
 
 
-def load_graph(path: str | os.PathLike, format: str | None = None) -> CSRGraph:
-    """Load a graph file in any supported format.
+def detect_format_stream(stream) -> str:
+    """Detect the format of an **open** stream without consuming it.
 
-    ``format`` is one of :data:`FORMATS`; ``None`` auto-detects with
-    :func:`detect_format`.  The ``snap`` reader's id labels are dropped —
-    call :func:`read_snap` directly to keep the original ids.
+    The sharded extractor runs several passes over one input handle, so
+    detection must leave the stream exactly where it found it.  Works on:
+
+    * binary buffered readers (``open(path, "rb")``) — uses ``peek``
+      when available, falling back to read + seek-back; transparently
+      sniffs through a gzip header (the prefix is decompressed in
+      memory, the stream itself is untouched);
+    * seekable text handles (``open(path, "r")``, ``io.StringIO``) —
+      read + seek-back.
+
+    Non-seekable, non-peekable streams (pipes) raise
+    :class:`GraphFormatError` — pass an explicit format for those.
     """
+    prefix = _peek_prefix(stream)
+    if isinstance(prefix, bytes):
+        if prefix[:2] == b"PK":
+            return "npz"
+        if prefix[:2] == b"\x1f\x8b":
+            import zlib
+
+            try:
+                prefix = zlib.decompressobj(wbits=31).decompress(
+                    prefix, _SNIFF_BYTES
+                )
+            except zlib.error as exc:
+                raise GraphFormatError(
+                    f"cannot sniff stream: bad gzip prefix ({exc})"
+                ) from exc
+        try:
+            text = prefix.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise GraphFormatError(
+                f"cannot sniff stream: binary content ({exc})"
+            ) from exc
+    else:
+        text = prefix
+    return _classify_first_line(_first_nonblank_line(text), "stream")
+
+
+def _peek_prefix(stream) -> bytes | str:
+    """A prefix of ``stream`` with the read position left unchanged."""
+    peek = getattr(stream, "peek", None)
+    if callable(peek):
+        try:
+            return peek(_SNIFF_BYTES)[:_SNIFF_BYTES]
+        except OSError:
+            pass  # fall through to seek-based peeking
+    try:
+        if stream.seekable():
+            pos = stream.tell()
+            data = stream.read(_SNIFF_BYTES)
+            stream.seek(pos)
+            return data
+    except (OSError, ValueError) as exc:
+        raise GraphFormatError(f"cannot sniff stream: {exc}") from exc
+    raise GraphFormatError(
+        "cannot sniff a non-seekable stream without peek support; pass an "
+        f"explicit format from {FORMATS}"
+    )
+
+
+class EdgeStream:
+    """Chunked, bounded-memory edge iteration over a text graph file.
+
+    The out-of-core sharded extractor's input primitive: iterate the
+    edges of an ``edgelist`` / ``snap`` / ``mtx`` file (optionally
+    gzipped) as a sequence of ``(k, 2)`` int64 chunks — built on the
+    same ~1 MiB bulk chunk parser the big-file readers use — so one
+    pass over a billion-edge file holds a single chunk of endpoint ids
+    at a time, never the full edge list.
+
+    Ids are raw file ids: MatrixMarket's 1-based ids are shifted to
+    0-based (and range-checked against the size line), but SNAP's
+    sparse ids are *not* compacted — compaction needs global knowledge,
+    which the caller owns (see
+    :func:`repro.graph.builder.compact_labels`).  Self-loops and
+    duplicate edges pass through untouched for the same reason.
+
+    Iterating is restartable (the file is reopened per pass).  Two
+    attributes are populated once iteration has consumed the header
+    (``None`` before that, and for headerless files):
+
+    * ``declared_vertices`` — the ``# vertices N`` edgelist header, or
+      the MatrixMarket size line's dimension;
+    * ``declared_edges`` — MatrixMarket's declared entry count.
+
+    Unlike :func:`read_edgelist`, token pairing is stream-wise rather
+    than line-wise (a pair may straddle a newline); malformed files
+    still fail loudly — an odd token count or a MatrixMarket entry-count
+    mismatch raises :class:`GraphFormatError` at end of stream.
+    """
+
+    def __init__(self, path: str | os.PathLike, format: str | None = None) -> None:
+        self.path = os.fspath(path)
+        fmt = format or detect_format(self.path)
+        if fmt not in STREAMABLE_FORMATS:
+            raise GraphFormatError(
+                f"format {fmt!r} is not streamable (expected one of "
+                f"{STREAMABLE_FORMATS}); metis/npz inputs load in one piece "
+                "via load_graph"
+            )
+        self.format = fmt
+        self.declared_vertices: int | None = None
+        self.declared_edges: int | None = None
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        with _open_text(self.path, "r") as fh:
+            if self.format == "mtx":
+                yield from self._iter_mtx(fh)
+            else:
+                yield from self._iter_pairs(fh)
+
+    def __repr__(self) -> str:
+        return f"EdgeStream({self.path!r}, format={self.format!r})"
+
+    def _iter_pairs(self, fh) -> Iterator[np.ndarray]:
+        prefixes = ("#", "%") if self.format == "snap" else ("#",)
+
+        def on_comment(line: str) -> None:
+            parts = line[1:].split()
+            if len(parts) == 2 and parts[0] == "vertices":
+                self.declared_vertices = int(parts[1])
+
+        hook = on_comment if self.format == "edgelist" else None
+        carry = np.empty(0, dtype=np.float64)
+        for block in _data_blocks(fh, prefixes, hook):
+            tokens = _block_tokens(block)
+            if carry.size:
+                tokens = np.concatenate((carry, tokens))
+            keep = tokens.size - tokens.size % 2
+            carry = tokens[keep:]
+            if keep:
+                yield _int_column_pair(
+                    tokens[:keep].reshape(-1, 2), f"{self.format} edge list"
+                )
+        if carry.size:
+            raise GraphFormatError(
+                f"{self.path}: {self.format} stream has an odd number of "
+                "tokens — not whole 'u v' pairs"
+            )
+
+    def _iter_mtx(self, fh) -> Iterator[np.ndarray]:
+        field, _symmetry = _parse_mtx_banner(fh)
+        per_entry = 2 if field == "pattern" else 3
+        rows = nnz = -1
+        seen = 0
+        carry = np.empty(0, dtype=np.float64)
+        for block in _data_blocks(fh, ("%",)):
+            tokens = _block_tokens(block)
+            if carry.size:
+                tokens = np.concatenate((carry, tokens))
+            if rows < 0:
+                if tokens.size < 3:
+                    carry = tokens
+                    continue
+                size_line = _int_column_pair(
+                    tokens[:3].reshape(1, 3)[:, :2], "MatrixMarket size line"
+                )
+                rows, cols = int(size_line[0, 0]), int(size_line[0, 1])
+                nnz = int(tokens[2])
+                if rows != cols:
+                    raise GraphFormatError(
+                        f"adjacency matrix must be square, got {rows} x {cols}"
+                    )
+                self.declared_vertices = rows
+                self.declared_edges = nnz
+                tokens = tokens[3:]
+            keep = tokens.size - tokens.size % per_entry
+            carry = tokens[keep:]
+            if not keep:
+                continue
+            entries = tokens[:keep].reshape(-1, per_entry)[:, :2]
+            pairs = _int_column_pair(entries, "MatrixMarket entries")
+            if pairs.min(initial=1) < 1 or pairs.max(initial=1) > rows:
+                raise GraphFormatError(
+                    f"MatrixMarket index out of range for a {rows} x {rows} "
+                    "matrix (indices are 1-based)"
+                )
+            seen += pairs.shape[0]
+            yield pairs - 1
+        if rows < 0:
+            raise GraphFormatError("MatrixMarket file is missing its size line")
+        if carry.size or seen != nnz:
+            raise GraphFormatError(
+                f"MatrixMarket size line declares {nnz} entries of "
+                f"{per_entry} tokens but the stream carried {seen} whole "
+                f"entries (+{carry.size} trailing tokens); a pattern file "
+                "with weight columns needs the non-streaming read_mtx reader"
+            )
+
+
+def load_graph(
+    path: str | os.PathLike | io.IOBase, format: str | None = None
+) -> CSRGraph:
+    """Load a graph in any supported format from a path or an open stream.
+
+    ``format`` is one of :data:`FORMATS`; ``None`` auto-detects —
+    :func:`detect_format` for paths, :func:`detect_format_stream` (peek
+    based, never consumes the handle) for open streams, so a caller that
+    detects and then reads gets the whole file both times.  Text formats
+    read from text-mode streams; ``npz`` needs a binary stream.  The
+    ``snap`` reader's id labels are dropped — call :func:`read_snap`
+    directly to keep the original ids.
+    """
+    if not isinstance(path, (str, os.PathLike)):
+        fmt = format or detect_format_stream(path)
+        if fmt == "npz":
+            with np.load(path) as data:
+                return CSRGraph(
+                    data["indptr"],
+                    data["indices"],
+                    sorted_adjacency=bool(data["sorted_adjacency"]),
+                    validate=True,
+                )
+        readers = {
+            "edgelist": read_edgelist,
+            "mtx": read_mtx,
+            "metis": read_metis,
+            "snap": lambda fh: read_snap(fh)[0],
+        }
+        if fmt not in readers:
+            raise GraphFormatError(
+                f"unknown graph format {fmt!r}; expected one of {FORMATS}"
+            )
+        return readers[fmt](path)
     fmt = format or detect_format(path)
     if fmt == "edgelist":
         return read_edgelist(path)

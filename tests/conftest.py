@@ -16,6 +16,9 @@ Markers (registered here so ``--strict-markers`` stays viable):
 * ``incremental_stress`` — long seeded mutation streams verified after
   every event (``IncrementalExtractor``); skipped unless
   ``--run-incremental-stress`` (or ``-m ... incremental_stress ...``).
+* ``sharded_stress`` — memory-capped (``resource.setrlimit``) proof that
+  out-of-core sharded extraction fits where the in-memory path cannot;
+  skipped unless ``--run-sharded-stress`` (or ``-m ... sharded_stress``).
 
 Tier-1 (``pytest -x -q``) therefore stays fast; the marked sweeps are the
 tier-2 deep end (see ``tests/README.md``).
@@ -53,6 +56,11 @@ _OPTIONAL_MARKERS = {
         "--run-incremental-stress",
         "long seeded mutation streams for the incremental extractor; "
         "skipped unless --run-incremental-stress",
+    ),
+    "sharded_stress": (
+        "--run-sharded-stress",
+        "memory-capped (resource.setrlimit) out-of-core extraction proof; "
+        "skipped unless --run-sharded-stress",
     ),
 }
 

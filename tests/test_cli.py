@@ -411,6 +411,7 @@ class TestBench:
             "bench_quality",
             "bench_service",
             "bench_incremental",
+            "bench_sharded",
         ]
 
 
@@ -564,3 +565,101 @@ class TestMutate:
         mpath.write_text(f"insert {u} {v}\n")  # already present
         assert main(["mutate", gpath, str(mpath)]) == 2
         assert "already an edge" in capsys.readouterr().err
+
+
+class TestShard:
+    """The out-of-core surface: `repro shard plan|run|stitch` and
+    `repro extract --sharded` (see tests/test_sharded.py for the
+    subsystem's property sweep)."""
+
+    def _write_graph(self, tmp_path, seed=3):
+        g = rmat_er(7, seed=seed)
+        src = tmp_path / "g.txt"
+        save_graph(g, src)
+        return g, str(src)
+
+    def test_plan_run_stitch_pipeline(self, tmp_path, capsys):
+        g, src = self._write_graph(tmp_path)
+        spill = str(tmp_path / "spill")
+        out = tmp_path / "chordal.txt"
+        assert main(["shard", "plan", src, "--shards", "3",
+                     "--spill-dir", spill]) == 0
+        assert "boundary_pairs=" in capsys.readouterr().err
+        assert main(["shard", "run", "--spill-dir", spill, "--verify"]) == 0
+        assert "verified" in capsys.readouterr().err
+        assert main(["shard", "stitch", "--spill-dir", spill, "--certify",
+                     "-o", str(out)]) == 0
+        assert "certified=chordal" in capsys.readouterr().err
+        # The written subgraph passes the standalone verifier (chordal;
+        # maximality over the whole graph is boundary-certified only).
+        assert main(["verify", src, str(out), "--chordal-only",
+                     "--quiet"]) == 0
+
+    def test_extract_sharded_matches_stepwise(self, tmp_path, capsys):
+        _g, src = self._write_graph(tmp_path, seed=8)
+        out1 = tmp_path / "one.txt"
+        out2 = tmp_path / "two.txt"
+        assert main(["extract", src, "--sharded", "--shards", "3",
+                     "--spill-dir", str(tmp_path / "s1"), "-o", str(out1),
+                     "--verify", "--quiet"]) == 0
+        spill = str(tmp_path / "s2")
+        assert main(["shard", "plan", src, "--shards", "3",
+                     "--spill-dir", spill, "-q"]) == 0
+        assert main(["shard", "run", "--spill-dir", spill, "-q"]) == 0
+        assert main(["shard", "stitch", "--spill-dir", spill,
+                     "-o", str(out2), "-q"]) == 0
+        capsys.readouterr()
+        assert out1.read_text() == out2.read_text()
+
+    def test_extract_sharded_resumes_from_cache(self, tmp_path, capsys):
+        _g, src = self._write_graph(tmp_path)
+        spill = str(tmp_path / "spill")
+        args = ["extract", src, "--sharded", "--shards", "2",
+                "--spill-dir", spill, "-o", str(tmp_path / "out.txt")]
+        assert main(args) == 0
+        assert "(cached 0)" in capsys.readouterr().err
+        assert main(args) == 0
+        assert "(cached 2)" in capsys.readouterr().err
+
+    def test_run_single_shard(self, tmp_path, capsys):
+        _g, src = self._write_graph(tmp_path)
+        spill = str(tmp_path / "spill")
+        assert main(["shard", "plan", src, "--spill-dir", spill, "-q"]) == 0
+        assert main(["shard", "run", "--spill-dir", spill,
+                     "--shard", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "shard 1:" in err and "shard 0:" not in err
+
+    def test_stitch_before_run_errors(self, tmp_path, capsys):
+        _g, src = self._write_graph(tmp_path)
+        spill = str(tmp_path / "spill")
+        assert main(["shard", "plan", src, "--spill-dir", spill, "-q"]) == 0
+        assert main(["shard", "stitch", "--spill-dir", spill]) == 2
+        assert "repro shard run" in capsys.readouterr().err
+
+    def test_run_without_plan_errors(self, tmp_path, capsys):
+        assert main(["shard", "run", "--spill-dir", str(tmp_path)]) == 2
+        assert "repro shard plan" in capsys.readouterr().err
+
+    def test_sharded_flag_validation(self, tmp_path, capsys):
+        _g, src = self._write_graph(tmp_path)
+        # --shards/--spill-dir without --sharded
+        assert main(["extract", src, "--shards", "8"]) == 2
+        assert "--sharded" in capsys.readouterr().err
+        # --sharded without --spill-dir
+        assert main(["extract", src, "--sharded"]) == 2
+        assert "--spill-dir" in capsys.readouterr().err
+        # --sharded with stdin
+        assert main(["extract", "-", "--sharded",
+                     "--spill-dir", str(tmp_path / "s")]) == 2
+        assert "file input" in capsys.readouterr().err
+        # --sharded with --server
+        assert main(["extract", src, "--sharded",
+                     "--spill-dir", str(tmp_path / "s"),
+                     "--server", "/tmp/nope.sock"]) == 2
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_sharded_record_choice(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--record", "sharded"])
+        assert args.record == "sharded"

@@ -17,6 +17,7 @@ from repro.parallel.partition import (
     balanced_chunks,
     block_ranges,
     cyclic_indices,
+    degree_balanced_cuts,
     lpt_assign,
 )
 from repro.parallel.runtime import ThreadTeam, parallel_for
@@ -121,6 +122,71 @@ class TestBalancedChunks:
 
     def test_empty(self):
         assert balanced_chunks(np.empty(0), 3) == [(0, 0)] * 3
+
+
+class TestDegreeBalancedCuts:
+    def test_shape_and_cover(self):
+        cuts = degree_balanced_cuts(np.ones(10), 3)
+        assert cuts.dtype == np.int64
+        assert cuts[0] == 0 and cuts[-1] == 10
+        assert np.all(np.diff(cuts) >= 0)
+
+    def test_uniform_degrees_match_block_ranges(self):
+        cuts = degree_balanced_cuts(np.full(12, 5.0), 4)
+        blocks = block_ranges(12, 4)
+        assert [(int(cuts[p]), int(cuts[p + 1])) for p in range(4)] == blocks
+
+    def test_power_law_beats_block_ranges(self):
+        """On a hub-heavy degree sequence the vertex-count split piles
+        most of the degree mass into the first part; the degree-balanced
+        cuts keep every part near 1/n_parts of the mass."""
+        from repro.graph.generators.rmat import rmat_b
+
+        graph = rmat_b(9, seed=3)
+        degrees = graph.degrees().astype(np.float64)
+        total = degrees.sum()
+        n_parts = 4
+
+        def part_masses(ranges):
+            return [degrees[a:b].sum() for a, b in ranges]
+
+        block_masses = part_masses(block_ranges(graph.num_vertices, n_parts))
+        cuts = degree_balanced_cuts(degrees, n_parts)
+        cut_masses = part_masses([(cuts[p], cuts[p + 1]) for p in range(n_parts)])
+        assert max(block_masses) / total > 0.4, (
+            "expected RMAT-B hub skew to make the block split lopsided "
+            f"(masses {block_masses}); the premise of this test is gone"
+        )
+        assert max(cut_masses) / total < max(block_masses) / total
+        # Every part within 2x of the ideal share (one giant hub vertex
+        # is the only way to exceed this, and RMAT-B at scale 9 has none).
+        assert max(cut_masses) <= 2.0 * total / n_parts
+
+    def test_ownership_lookup_via_searchsorted(self):
+        degrees = np.array([9.0, 1.0, 1.0, 1.0, 9.0, 1.0])
+        cuts = degree_balanced_cuts(degrees, 2)
+        owner = np.searchsorted(cuts, np.arange(6), side="right") - 1
+        for p in range(2):
+            members = np.flatnonzero(owner == p)
+            assert np.array_equal(members, np.arange(cuts[p], cuts[p + 1]))
+
+    def test_zero_degrees_fall_back_to_blocks(self):
+        cuts = degree_balanced_cuts(np.zeros(7), 3)
+        blocks = block_ranges(7, 3)
+        assert [(int(cuts[p]), int(cuts[p + 1])) for p in range(3)] == blocks
+
+    def test_isolated_tail_vertices_are_covered(self):
+        degrees = np.array([4.0, 4.0, 0.0, 0.0, 0.0])
+        cuts = degree_balanced_cuts(degrees, 2)
+        assert cuts[-1] == 5  # isolated tail still owned by the last part
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            degree_balanced_cuts(np.ones((2, 2)), 2)
+        with pytest.raises(ValueError):
+            degree_balanced_cuts(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            degree_balanced_cuts(np.array([1.0, -1.0]), 2)
 
 
 class TestCyclicAndLpt:
