@@ -4,7 +4,11 @@ or an engine's answer quality drops below its recorded baseline.
 Seven committed baselines are guarded:
 
 * ``BENCH_kernels.json`` — per-kernel median wall-clock of every kernel
-  registered in ``benchmarks/record_baseline.py``;
+  registered in ``benchmarks/record_baseline.py``, plus the recorded
+  native-vs-NumPy sync speedup on the scale-14 RMAT-ER round loop
+  (gated at ``NATIVE_MIN_SPEEDUP``x; armed only when the baseline was
+  recorded with the compiled backend resolved, and a recorded-but-
+  missing backend *fails* rather than skips);
 * ``BENCH_batch.json`` — ``extract_many`` batch throughput over one
   persistent process pool (``benchmarks/record_batch_baseline.py``);
 * ``BENCH_async.json`` — the asynchronous process engine at the scales in
@@ -85,6 +89,11 @@ MAX_REGRESSION = 2.0
 #: Floor below which timing jitter dominates and the ratio is meaningless.
 MIN_MEANINGFUL_SECONDS = 1e-3
 
+#: The recorded compiled-vs-NumPy sync speedup on the scale-14 RMAT-ER
+#: round loop must be at least this (the native backend's acceptance
+#: figure; below it the compiled path has lost its reason to exist).
+NATIVE_MIN_SPEEDUP = 5.0
+
 
 def _load_guarded_baseline(path, required_keys, record_cmd):
     """Load one guarded BENCH_*.json; returns ``(data, problem)``.
@@ -119,9 +128,10 @@ def _load_guarded_baseline(path, required_keys, record_cmd):
 
 
 _KERNELS_DATA, _KERNELS_PROBLEM = _load_guarded_baseline(
-    BASELINE_PATH, ("median_seconds",), "repro bench --record kernels"
+    BASELINE_PATH, ("median_seconds", "native"), "repro bench --record kernels"
 )
 _BASELINE = _KERNELS_DATA.get("median_seconds", {})
+_NATIVE_RECORDED = _KERNELS_DATA.get("native", {})
 
 _BATCH_BASELINE, _BATCH_PROBLEM = _load_guarded_baseline(
     BATCH_PATH, ("batch_seconds",), "repro bench --record batch"
@@ -196,7 +206,27 @@ def test_guarded_baseline_wellformed(problem):
 
 @pytest.mark.skipif(_KERNELS_PROBLEM is not None, reason="baseline problem reported above")
 def test_baseline_covers_registry(kernels):
-    """Every registered kernel has a recorded baseline and vice versa."""
+    """Every registered kernel has a recorded baseline and vice versa.
+
+    The native rows get their own diagnosis: the registry includes them
+    only when the compiled backend resolves on *this* host, so a recorded
+    native row that is missing from the registry means the guard host
+    lost its toolchain — that must fail loudly, not read as generic
+    baseline drift.
+    """
+    recorded_native_only = {k for k in set(_BASELINE) - set(kernels) if "native" in k}
+    if recorded_native_only:
+        from repro.core.native import native_status
+
+        status = native_status()
+        assert status.available, (
+            f"BENCH_kernels.json records native rows {sorted(recorded_native_only)} "
+            f"but the compiled backend is unavailable on this host "
+            f"({status.detail}); the native-vs-NumPy gate cannot run — fix "
+            "the toolchain on the guard host (or, if native support was "
+            "intentionally dropped, re-record with `repro bench --record "
+            "kernels` on the new configuration)"
+        )
     assert set(_BASELINE) == set(kernels), (
         "BENCH_kernels.json entries diverge from the kernel registry in "
         "benchmarks/record_baseline.py; re-record with "
@@ -216,6 +246,51 @@ def test_kernel_not_regressed(kernels, name):
         f"{name}: {current * 1e3:.2f} ms vs baseline "
         f"{_BASELINE[name] * 1e3:.2f} ms ({ratio:.2f}x > {MAX_REGRESSION}x); "
         "if intentional, re-run benchmarks/record_baseline.py"
+    )
+
+
+@pytest.mark.skipif(_KERNELS_PROBLEM is not None, reason="baseline problem reported above")
+def test_native_recorded_ratio_gate(kernels):
+    """The committed baseline must show the compiled backend beating the
+    NumPy round loop by >= NATIVE_MIN_SPEEDUP on the scale-14 RMAT-ER
+    rows, and this host must keep at least half that edge live.
+
+    The *only* legitimate skip is a baseline recorded on a host with no
+    toolchain (``native.available: false``).  A baseline that *did*
+    record native figures on a host that can no longer run them is a
+    failure — silently skipping would disarm the gate exactly when the
+    backend breaks.
+    """
+    if not _NATIVE_RECORDED.get("available"):
+        pytest.skip(
+            "baseline recorded without the compiled backend "
+            f"({_NATIVE_RECORDED.get('detail', 'no detail recorded')}); "
+            "re-record on a host with a C toolchain to arm this gate"
+        )
+    from repro.core.native import native_status
+
+    status = native_status()
+    assert status.available, (
+        "BENCH_kernels.json records the compiled backend as available "
+        f"(ratio {_NATIVE_RECORDED.get('sync_ratio_er14', 0.0):.2f}x) but it "
+        f"failed to resolve on this host: {status.detail}; the gate refuses "
+        "to skip a recorded-but-missing backend — fix the toolchain"
+    )
+    recorded_ratio = _NATIVE_RECORDED.get("sync_ratio_er14", 0.0)
+    assert recorded_ratio >= NATIVE_MIN_SPEEDUP, (
+        f"BENCH_kernels.json records a native sync speedup of only "
+        f"{recorded_ratio:.2f}x on er14 (acceptance floor "
+        f"{NATIVE_MIN_SPEEDUP}x); the compiled backend has lost its reason "
+        "to exist — fix it, then re-record with `repro bench --record kernels`"
+    )
+    numpy_s = median_seconds(kernels["rounds_sync_numpy_er14"], repeats=3)
+    native_s = median_seconds(kernels["rounds_sync_native_er14"], repeats=3)
+    live_ratio = numpy_s / native_s
+    assert live_ratio >= NATIVE_MIN_SPEEDUP / MAX_REGRESSION, (
+        f"live native sync speedup on er14 is {live_ratio:.2f}x "
+        f"({numpy_s * 1e3:.2f} ms NumPy vs {native_s * 1e3:.2f} ms native) — "
+        f"less than half the {NATIVE_MIN_SPEEDUP}x acceptance floor; the "
+        "compiled rows regressed relative to the NumPy loop"
     )
 
 

@@ -145,8 +145,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="Maximal chordal subgraph extraction "
         "(Halappanavar et al., ICPP 2012) — batch pipeline and tools",
     )
+    class _VersionAction(argparse.Action):
+        """``--version`` with native-backend status.
+
+        Resolution (which may build the extension on first call) happens
+        here — when the flag is actually used — never at parser
+        construction.
+        """
+
+        def __call__(self, parser, namespace, values, option_string=None):
+            from repro.core.native import native_status
+
+            status = native_status()
+            state = "available" if status.available else "unavailable"
+            print(f"{parser.prog} {__version__}")
+            print(f"native kernels: {state} ({status.detail})")
+            parser.exit()
+
     parser.add_argument(
-        "--version", action="version", version=f"%(prog)s {__version__}"
+        "--version", action=_VersionAction, nargs=0, help="show version and exit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
     # Engine/schedule choices and help are derived from the engine
@@ -892,7 +909,8 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                     f"chordal={result.num_chordal_edges} "
                     f"({100 * result.chordal_fraction:.1f}%) "
                     f"iterations={result.num_iterations} "
-                    f"engine={args.engine}{verified} [{timer.elapsed:.3f}s]",
+                    f"engine={args.engine} kernel={result.kernel_path}"
+                    f"{verified} [{timer.elapsed:.3f}s]",
                     file=sys.stderr,
                 )
     return 0
@@ -1204,6 +1222,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise ReproError(
             f"{guard} not found — the bench subcommand needs a source checkout"
         )
+    from repro.core.native import native_status
+
+    status = native_status()
+    kernel = "native" if status.available else "numpy"
+    print(
+        f"repro bench: kernel path {kernel} ({status.detail})",
+        file=sys.stderr,
+    )
     import pytest
 
     return pytest.main([str(guard), "-q", *args.pytest_args])

@@ -30,6 +30,15 @@ ExecutorBackend choice.
     per-iteration barriers (GIL-bound); asynchronous output may differ
     run to run; collects work traces (its synchronous trace is identical
     to ``superstep``'s, the trace being a property of the schedule).
+``native``
+    ``LocalState(edge_claims=True)`` × ``NativeThreadTeamExecutor`` —
+    the same thread team dispatching the *compiled* round bodies
+    (:mod:`repro.core.native`), which release the GIL: genuinely
+    parallel threads over shared arrays with no fork, segment or
+    barrier-agent machinery.  Falls back to the NumPy bodies (same
+    results, GIL-bound) when no compiled backend is available
+    (``supports_native`` flags the capability; availability is a
+    runtime question — ``repro --version`` reports it).
 ``process``
     ``SharedSegmentState`` × ``ProcessTeamExecutor`` — worker processes
     over shared memory, real core-level speedup; runs on a reusable
@@ -66,6 +75,7 @@ from repro.core.procpool import ProcessPool
 from repro.core.reference import reference_max_chordal
 from repro.core.runtime import (
     LocalState,
+    NativeThreadTeamExecutor,
     SerialExecutor,
     ThreadTeamExecutor,
     backend_run_fn,
@@ -150,6 +160,13 @@ class EngineSpec:
     supports_pool:
         Whether extraction runs on (and can reuse) a
         :class:`~repro.core.procpool.ProcessPool`.
+    supports_native:
+        Whether the engine dispatches the compiled nogil round bodies
+        (:mod:`repro.core.native`) when they are available.  This is a
+        *capability* flag: whether the compiled path actually runs on a
+        given host is a runtime question, answered by
+        :func:`repro.core.native.native_status` and surfaced as
+        ``kernel_path`` on :class:`~repro.core.session.ChordalResult`.
     supports_weights:
         Whether the engine consumes per-edge weights
         (:func:`repro.graph.weights.attach_edge_weights`).  Extracting
@@ -180,6 +197,7 @@ class EngineSpec:
     deterministic_schedules: tuple[str, ...] = ()
     supports_trace: bool = False
     supports_pool: bool = False
+    supports_native: bool = False
     supports_weights: bool = False
     algorithm: str = "algorithm1"
 
@@ -381,6 +399,14 @@ _run_threaded = backend_run_fn(
     lambda config: ThreadTeamExecutor(config.num_threads),
 )
 
+# edge_claims=True: the native pairing runs the asynchronous schedule as
+# lock-free live rounds in process, so the local state carries real
+# edge-claim words (the sweep-based engines never read them).
+_run_native = backend_run_fn(
+    lambda graph, num_slices, config: LocalState(graph, num_slices, edge_claims=True),
+    lambda config: NativeThreadTeamExecutor(config.num_threads),
+)
+
 
 def _run_process(graph, config, pool):
     # The dispatcher always supplies the pool for supports_pool engines
@@ -429,6 +455,16 @@ register_engine(
         description="real thread team with per-iteration barriers (GIL-bound)",
         deterministic_schedules=("synchronous",),
         supports_trace=True,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="native",
+        run_fn=_run_native,
+        description="compiled nogil round bodies on a real thread team "
+        "(NumPy fallback when no toolchain)",
+        deterministic_schedules=("synchronous",),
+        supports_native=True,
     )
 )
 register_engine(

@@ -10,7 +10,7 @@ and parameterizes it along two axes:
   (:mod:`~repro.core.runtime.layout`);
 * **ExecutorBackend** — who runs each round's slices
   (:class:`SerialExecutor`, :class:`ThreadTeamExecutor`,
-  :class:`ProcessTeamExecutor`).
+  :class:`NativeThreadTeamExecutor`, :class:`ProcessTeamExecutor`).
 
 The built-in engines are thin pairings of these (see
 :mod:`repro.core.engines`); a third-party backend is one new class plus a
@@ -20,6 +20,7 @@ section.
 
 from repro.core.runtime.driver import SCHEDULES, VARIANTS, backend_run_fn, drive
 from repro.core.runtime.executors import (
+    NativeThreadTeamExecutor,
     ProcessTeamExecutor,
     SerialExecutor,
     ThreadTeamExecutor,
@@ -39,6 +40,7 @@ __all__ = [
     "SharedSegmentState",
     "SerialExecutor",
     "ThreadTeamExecutor",
+    "NativeThreadTeamExecutor",
     "ProcessTeamExecutor",
     "WorkerTeamError",
     "build_spec",

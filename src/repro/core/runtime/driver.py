@@ -19,11 +19,12 @@ executor) pairing:
   within the same iteration.  Deterministic when serial (reproduces the
   paper's headline iteration counts: ~3 for R-MAT, k-1 for a k-clique);
   any-valid when thread-sliced (the platform's benign races).
-* ``schedule="asynchronous"`` on a process team — live barrier rounds:
-  one service per vertex per round against whatever chordal-set prefixes
-  other workers have published, with lock-free edge-claim words
-  (:func:`~repro.core.runtime.rounds.run_async_slice`).  Any-valid;
-  certify with :func:`repro.chordality.verify_extraction`.
+* ``schedule="asynchronous"`` on a process team — or any executor that
+  sets ``live_rounds = True``, like the native thread team — live
+  barrier rounds: one service per vertex per round against whatever
+  chordal-set prefixes other workers have published, with lock-free
+  edge-claim words (:func:`~repro.core.runtime.rounds.run_async_slice`).
+  Any-valid; certify with :func:`repro.chordality.verify_extraction`.
 
 Work traces are a **driver** feature: for synchronous rounds the trace is
 reconstructed from each round's snapshot in canonical ascending order, so
@@ -101,7 +102,8 @@ def drive(
         )
     state.reset(schedule)
     limit = max_iterations if max_iterations is not None else state.max_degree + 2
-    if schedule == "asynchronous" and executor.in_process:
+    live_rounds = getattr(executor, "live_rounds", False)
+    if schedule == "asynchronous" and executor.in_process and not live_rounds:
         if not hasattr(state, "set_mirrors"):
             raise ConfigError(
                 "the asynchronous in-process sweep needs a state backend "
@@ -112,7 +114,7 @@ def drive(
     if collect_trace and schedule == "asynchronous":
         raise ConfigError(
             "collect_trace is not supported for asynchronous live rounds "
-            "(process-team executors); use an in-process executor"
+            "(process-team / native executors); use the sweep executors"
         )
     return _drive_rounds(state, executor, schedule, variant, builder, limit)
 
@@ -161,11 +163,20 @@ def _drive_rounds(
     n = state.n
     ctrl = a["control"]
     live = schedule == "asynchronous"
+    if live and not a["edge_state"].size:
+        raise ConfigError(
+            "asynchronous live rounds need edge-claim words; build the "
+            "state with LocalState(graph, edge_claims=True) (or a "
+            "SharedSegmentState)"
+        )
     num_slices = executor.num_slices
     degrees = state.degrees() if builder.enabled else None
 
     queue_sizes: list[int] = []
     chunks: list[tuple[np.ndarray, np.ndarray]] = []
+    # Reused distinct-parent scatter mask; cleared per round by
+    # un-setting exactly the entries the round set.
+    pmask = np.zeros(n, dtype=bool)
 
     while True:
         active = np.flatnonzero(a["lp"][:n] >= 0)
@@ -178,7 +189,12 @@ def _drive_rounds(
                 "vertices; this indicates an internal bug"
             )
         parents = a["lp"][:n][active]
-        queue_sizes.append(int(np.unique(parents).size))
+        # |Q1| = number of distinct parents.  A scatter-mask count is
+        # O(n + active) and beats np.unique's sort — at scale 14 the
+        # unique() call alone cost more than the compiled round bodies.
+        pmask[parents] = True
+        queue_sizes.append(int(np.count_nonzero(pmask)))
+        pmask[parents] = False
         a["active"][:na] = active
         a["parents"][:na] = parents
         if live:
@@ -186,11 +202,16 @@ def _drive_rounds(
             nkeys = 0
         else:
             # Barrier: freeze this iteration's chordal-set prefix lengths
-            # and compress the filled arena into the sorted key array.
+            # and compress the filled arena into the sorted key array —
+            # unless the executor's bodies probe arena runs directly
+            # (the compiled path advertises needs_keys=False).
             a["snapshot"][:n] = a["counts"][:n]
-            nkeys = build_arena_keys(
-                a["arena"], a["offsets"], a["snapshot"][:n], n, out=a["keys"]
-            ).size
+            if getattr(executor, "needs_keys", True):
+                nkeys = build_arena_keys(
+                    a["arena"], a["offsets"], a["snapshot"][:n], n, out=a["keys"]
+                ).size
+            else:
+                nkeys = 0
         if num_slices == 1:
             a["cuts"][0] = 0
             a["cuts"][1] = na
@@ -205,7 +226,9 @@ def _drive_rounds(
             a["cuts"][num_slices] = ranges[-1][1]
         ctrl[CTRL_NKEYS] = nkeys
         executor.run_round(state, schedule)
-        accepted = a["ok"][:na].astype(bool)
+        # uint8 -> bool is a free reinterpret; the mask is consumed by
+        # the gathers below before the next round overwrites 'ok'.
+        accepted = a["ok"][:na].view(bool)
         chunks.append((parents[accepted], active[accepted]))
         if builder.enabled:
             _record_sync_round(

@@ -21,6 +21,13 @@ branches on the concrete type:
     A persistent :class:`~repro.parallel.runtime.ThreadTeam` (GIL-bound;
     demonstrates the concurrency structure).  Pairs with ``LocalState``
     as the ``threaded`` engine.
+:class:`NativeThreadTeamExecutor`
+    The same thread team dispatching the *compiled* round bodies
+    (:mod:`repro.core.native`), which release the GIL — genuinely
+    parallel threads over shared arrays, the paper's execution model
+    without fork/IPC.  Pairs with ``LocalState(edge_claims=True)`` as
+    the ``native`` engine; falls back to the NumPy bodies (identical
+    results, GIL-bound speed) when no compiled backend is available.
 :class:`ProcessTeamExecutor`
     A persistent team of worker processes attached to one shared-memory
     segment, with the barrier-agent thread that keeps a SIGKILLed worker
@@ -55,6 +62,7 @@ from repro.parallel.shm import SharedArrayBlock
 __all__ = [
     "SerialExecutor",
     "ThreadTeamExecutor",
+    "NativeThreadTeamExecutor",
     "ProcessTeamExecutor",
     "WorkerTeamError",
 ]
@@ -121,6 +129,61 @@ class ThreadTeamExecutor:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class NativeThreadTeamExecutor(ThreadTeamExecutor):
+    """Thread team dispatching the compiled (GIL-releasing) round bodies.
+
+    Structurally a :class:`ThreadTeamExecutor`; the differences are all
+    about *what* runs per slice:
+
+    * rounds call the C bodies of :mod:`repro.core.native`, which
+      operate on the schema arrays in place and release the GIL, so the
+      slices of a round execute concurrently on real cores;
+    * ``live_rounds`` tells the driver to run the asynchronous schedule
+      as lock-free live rounds (the process engine's regime — per-arc
+      CAS claim words) instead of the in-process children-map sweep;
+    * ``needs_keys`` is ``False`` on the compiled path: the C subset
+      test binary-searches each parent's arena run directly, so the
+      driver skips building the global key array every round.
+
+    When the compiled backend is unavailable (no toolchain, no cffi,
+    ``REPRO_NATIVE=0``), the executor transparently runs the NumPy round
+    bodies instead — same edge sets (bit-identical under the synchronous
+    schedule), GIL-bound speed — so the ``native`` engine always works.
+    """
+
+    #: Asynchronous schedule runs live rounds, not the children-map sweep.
+    live_rounds = True
+
+    def __init__(self, num_threads: int) -> None:
+        super().__init__(num_threads)
+        from repro.core.native import native_available, native_round_body
+
+        self._native = native_available()
+        self._native_body = native_round_body if self._native else None
+
+    @property
+    def needs_keys(self) -> bool:
+        """The compiled subset test probes arena runs, not the key array."""
+        return not self._native
+
+    @property
+    def kernel_path(self) -> str:
+        """Which bodies this executor dispatches: ``native`` or ``numpy``."""
+        return "native" if self._native else "numpy"
+
+    def run_round(self, state, schedule: str) -> None:
+        if not self._native:
+            return super().run_round(state, schedule)
+        body = self._native_body(schedule)
+        arrays = state.arrays
+        if self.num_slices == 1:
+            # One slice owns the whole round: the barrier team would only
+            # add handoff latency around a single GIL-releasing call.
+            body(0, arrays)
+            return
+        self._ensure_team().run(lambda tid: body(tid, arrays))
 
 
 # ---------------------------------------------------------------------------

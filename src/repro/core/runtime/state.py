@@ -126,7 +126,9 @@ class LocalState(StateBackend):
     scratch for the widest executor this state will be driven by.
     """
 
-    def __init__(self, graph: CSRGraph, num_slices: int = 1) -> None:
+    def __init__(
+        self, graph: CSRGraph, num_slices: int = 1, *, edge_claims: bool = False
+    ) -> None:
         g = graph if graph.sorted_adjacency else graph.with_sorted_adjacency()
         self.graph = g
         n = g.num_vertices
@@ -138,9 +140,12 @@ class LocalState(StateBackend):
         self.arena_used = int(offsets[-1])
         self.max_degree = g.max_degree()
         spec = build_spec(n, self.nnz, self.arena_used, max(1, num_slices))
-        # Graph arrays are aliased below, not allocated; the edge-claim
-        # words stay a size-0 stub (the in-process sweep — the only
-        # asynchronous path a local state takes — never reads claims).
+        # Graph arrays are aliased below, not allocated.  The edge-claim
+        # words default to a size-0 stub (the in-process sweep — the
+        # historical asynchronous path of a local state — never reads
+        # claims); ``edge_claims=True`` allocates the full claim array
+        # for executors that run asynchronous *live rounds* in process
+        # (the native thread team).
         aliased = ("indptr", "indices", "lower", "offsets", "edge_state")
         self.arrays = {
             name: np.zeros(shape, dtype=dtype)
@@ -151,7 +156,9 @@ class LocalState(StateBackend):
         self.arrays["indices"] = indices
         self.arrays["lower"] = lower
         self.arrays["offsets"] = offsets
-        self.arrays["edge_state"] = np.zeros(0, dtype=np.int64)
+        self.arrays["edge_state"] = np.zeros(
+            self.arena_used if edge_claims else 0, dtype=np.int64
+        )
         self.arrays["control"][CTRL_N] = n
 
 

@@ -70,6 +70,11 @@ class ChordalResult:
     graph:
         The input graph the edges refer to (original ids, even when
         BFS renumbering was applied internally).
+    kernel_path:
+        Which round bodies actually ran: ``"native"`` when a
+        ``supports_native`` engine resolved the compiled backend,
+        ``"numpy"`` otherwise (including the fallback inside a native
+        engine on a toolchain-less host).
     """
 
     edges: np.ndarray
@@ -82,6 +87,7 @@ class ChordalResult:
     renumbered: bool = False
     stitched_bridges: int = 0
     maximality_gap: int = 0
+    kernel_path: str = "numpy"
     _subgraph: CSRGraph | None = field(default=None, repr=False)
 
     @property
@@ -230,6 +236,12 @@ class Extractor:
 
         edges, queue_sizes, trace = self._spec.run(work_graph, cfg, pool)
 
+        kernel_path = "numpy"
+        if getattr(self._spec, "supports_native", False):
+            from repro.core.native import native_available
+
+            kernel_path = "native" if native_available() else "numpy"
+
         if old_of_new is not None and edges.size:
             edges = np.column_stack((old_of_new[edges[:, 0]], old_of_new[edges[:, 1]]))
 
@@ -255,6 +267,7 @@ class Extractor:
             renumbered=cfg.renumber == "bfs",
             stitched_bridges=stitched,
             maximality_gap=gap,
+            kernel_path=kernel_path,
         )
 
     def extract_many(self, graphs: Iterable[CSRGraph]) -> list[ChordalResult]:

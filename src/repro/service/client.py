@@ -54,6 +54,8 @@ class ServiceResult:
     maximality_gap: int
     stitched_bridges: int
     verified: bool = False
+    #: Which round bodies ran server-side: "native" (compiled) or "numpy".
+    kernel_path: str = "numpy"
     _subgraph: CSRGraph | None = field(default=None, repr=False)
 
     @property
@@ -240,6 +242,7 @@ class ServiceClient:
             maximality_gap=int(response.get("maximality_gap", 0)),
             stitched_bridges=int(response.get("stitched_bridges", 0)),
             verified=bool(response.get("verified", False)),
+            kernel_path=str(response.get("kernel_path", "numpy")),
         )
 
     def mutate(

@@ -319,6 +319,8 @@ class ReproServer:
             "verifications": 0,
             "mutations": 0,
             "cache_invalidations": 0,
+            "kernel_native": 0,
+            "kernel_numpy": 0,
         }
         self._stopping = threading.Event()
         self._stopped = threading.Event()
@@ -921,9 +923,11 @@ class ReproServer:
             served_by = "inline"
         with extractor:
             result = extractor.extract(graph)
+        self._bump(f"kernel_{result.kernel_path}")
         meta = {
             "num_iterations": result.num_iterations,
             "maximality_gap": result.maximality_gap,
             "stitched_bridges": result.stitched_bridges,
+            "kernel_path": result.kernel_path,
         }
         return result.edges, meta, served_by

@@ -20,6 +20,15 @@ Markers (registered here so ``--strict-markers`` stays viable):
   out-of-core sharded extraction fits where the in-memory path cannot;
   skipped unless ``--run-sharded-stress`` (or ``-m ... sharded_stress``).
 
+One marker is different in kind:
+
+* ``native`` — tests that require the *compiled* kernel backend
+  (:mod:`repro.core.native`).  These run by default (they are tier-1 on
+  any host with a C toolchain); when the backend cannot be resolved they
+  are **skipped with the resolution detail as the reason** (no compiler
+  vs. missing cffi vs. build failure vs. ``REPRO_NATIVE=0``) — never
+  silently passed.
+
 Tier-1 (``pytest -x -q``) therefore stays fast; the marked sweeps are the
 tier-2 deep end (see ``tests/README.md``).
 """
@@ -78,6 +87,11 @@ def pytest_addoption(parser) -> None:
 def pytest_configure(config) -> None:
     for name, (_flag, description) in _OPTIONAL_MARKERS.items():
         config.addinivalue_line("markers", f"{name}: {description}")
+    config.addinivalue_line(
+        "markers",
+        "native: needs the compiled kernel backend; skipped (with the "
+        "resolution detail as the reason) when it cannot be built/loaded",
+    )
 
 
 def pytest_collection_modifyitems(config, items) -> None:
@@ -89,6 +103,20 @@ def pytest_collection_modifyitems(config, items) -> None:
         for item in items:
             if name in item.keywords:
                 item.add_marker(skip)
+    if any("native" in item.keywords for item in items):
+        from repro.core.native import native_status
+
+        status = native_status()
+        if not status.available:
+            # Skip *with the specific reason* — a silent pass would hide
+            # which failure mode (no compiler / no cffi / broken build /
+            # explicit disable) the host is in.
+            skip_native = pytest.mark.skip(
+                reason=f"native kernel backend unavailable: {status.detail}"
+            )
+            for item in items:
+                if "native" in item.keywords:
+                    item.add_marker(skip_native)
 
 
 def to_networkx(graph: CSRGraph):

@@ -74,6 +74,10 @@ CONFIGS = [
     ("superstep", "asynchronous", 0),
     ("threaded", "synchronous", 3),
     ("threaded", "asynchronous", 3),
+    ("native", "synchronous", 1),
+    ("native", "synchronous", 3),
+    ("native", "asynchronous", 1),
+    ("native", "asynchronous", 3),
     ("process", "synchronous", 1),
     ("process", "synchronous", 3),
     ("process", "asynchronous", 1),

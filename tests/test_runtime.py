@@ -31,6 +31,7 @@ from repro.core.procpool import ProcessPool
 from repro.core.reference import reference_max_chordal
 from repro.core.runtime import (
     LocalState,
+    NativeThreadTeamExecutor,
     SerialExecutor,
     SharedSegmentState,
     ThreadTeamExecutor,
@@ -84,10 +85,20 @@ class TestSyncDeterminismAcrossPairings:
             pairings.append(
                 (LocalState(graph, threads), ThreadTeamExecutor(threads))
             )
+        # Native pairing: compiled bodies when available, NumPy fallback
+        # otherwise — both must reproduce the same rows at any width.
+        for threads in (1, 4):
+            pairings.append(
+                (
+                    LocalState(graph, threads, edge_claims=True),
+                    NativeThreadTeamExecutor(threads),
+                )
+            )
         # Off-diagonal: shared-memory arrays driven without any worker
         # processes — the rounds must not care where the arrays live.
         pairings.append((shared_state(graph, 1), SerialExecutor()))
         pairings.append((shared_state(graph, 3), ThreadTeamExecutor(3)))
+        pairings.append((shared_state(graph, 2), NativeThreadTeamExecutor(2)))
 
         for state, executor in pairings:
             with executor:
@@ -220,6 +231,18 @@ class TestDriverValidation:
                     pool._executor,
                     schedule="asynchronous",
                     collect_trace=True,
+                )
+
+    def test_live_rounds_need_edge_claims(self):
+        """In-process live rounds (the native pairing's asynchronous
+        regime) refuse a state without edge-claim words up front —
+        whether the compiled bodies or the NumPy fallback would run."""
+        with NativeThreadTeamExecutor(2) as executor:
+            with pytest.raises(ConfigError, match="edge-claim"):
+                drive(
+                    LocalState(complete_graph(5), 2),
+                    executor,
+                    schedule="asynchronous",
                 )
 
     def test_iteration_budget(self):

@@ -146,6 +146,7 @@ class TestRegistry:
         assert engine_names() == (
             "superstep",
             "threaded",
+            "native",
             "process",
             "reference",
             "weighted",
